@@ -1,0 +1,210 @@
+package kplex_test
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	kplex "repro"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	var b kplex.Builder
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 0}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plexes, res, err := kplex.EnumerateAll(context.Background(), g, kplex.NewOptions(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != int64(len(plexes)) {
+		t.Fatalf("count %d != len %d", res.Count, len(plexes))
+	}
+	// C4 plus one chord (0-2): {0,1,2,3} is a 2-plex (1 and 3 miss each
+	// other only), and it is the unique maximal one of size >= 3.
+	if len(plexes) != 1 || len(plexes[0]) != 4 {
+		t.Fatalf("plexes = %v", plexes)
+	}
+	if !kplex.IsMaximalKPlex(g, plexes[0], 2) {
+		t.Fatal("reported plex is not maximal")
+	}
+}
+
+func TestPublicReadWriteGraph(t *testing.T) {
+	in := "# comment\n0 1\n1 2\n2 0\n"
+	g, err := kplex.ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("parsed n=%d m=%d", g.N(), g.M())
+	}
+	var sb strings.Builder
+	if err := kplex.WriteGraph(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := kplex.ReadGraph(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() {
+		t.Fatal("round trip lost edges")
+	}
+}
+
+func TestPublicStats(t *testing.T) {
+	g := kplex.GNP(100, 0.2, 1)
+	s := kplex.ComputeGraphStats(g)
+	if s.N != 100 || s.M == 0 || s.Degeneracy == 0 || s.MaxDegree < s.Degeneracy {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPublicOptionPresetsAgree(t *testing.T) {
+	g := kplex.GNP(60, 0.4, 5)
+	const k, q = 2, 5
+	ref, _, err := kplex.EnumerateAll(context.Background(), g, kplex.NewOptions(k, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presets := map[string]kplex.Options{
+		"basic":    kplex.BasicOptions(k, q),
+		"ours_p":   kplex.OursPOptions(k, q),
+		"listplex": kplex.ListPlexOptions(k, q),
+		"fp":       kplex.FPOptions(k, q),
+	}
+	for name, o := range presets {
+		got, _, err := kplex.EnumerateAll(context.Background(), g, o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d plexes, want %d", name, len(got), len(ref))
+		}
+	}
+	// Oracle agreement on the same graph.
+	naive := kplex.NaiveEnumerate(g, k, q)
+	if len(naive) != len(ref) {
+		t.Fatalf("naive found %d, engine found %d", len(naive), len(ref))
+	}
+}
+
+func TestPublicBinaryGraphIO(t *testing.T) {
+	g := kplex.GNP(120, 0.1, 9)
+	var buf strings.Builder
+	_ = buf
+	var bin bytesBuffer
+	if err := kplex.WriteGraphBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := kplex.ReadGraphBinary(strings.NewReader(bin.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() || g2.N() != g.N() {
+		t.Fatal("binary round trip changed the graph")
+	}
+}
+
+// bytesBuffer is a minimal io.Writer capturing bytes as a string; avoids
+// importing bytes just for one test.
+type bytesBuffer struct{ data []byte }
+
+func (b *bytesBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+func (b *bytesBuffer) String() string { return string(b.data) }
+
+func TestPublicReduceCTCPAndOracles(t *testing.T) {
+	// CTCP equivalence on a mid-sized graph.
+	g := kplex.GNP(60, 0.35, 10)
+	const k, q = 2, 5
+	ref, _, err := kplex.EnumerateAll(context.Background(), g, kplex.NewOptions(k, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced := kplex.ReduceCTCP(g, k, q)
+	got, _, err := kplex.EnumerateAll(context.Background(), reduced, kplex.NewOptions(k, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("CTCP changed result count: %d vs %d", len(got), len(ref))
+	}
+
+	// The reverse-search oracle is exponential: cross-check it on a graph
+	// small enough for its exhaustive completion step.
+	small := kplex.GNP(12, 0.5, 10)
+	refSmall, _, err := kplex.EnumerateAll(context.Background(), small, kplex.NewOptions(k, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := kplex.ReverseSearchEnumerate(small, k, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rev) != len(refSmall) {
+		t.Fatalf("reverse search found %d, engine %d", len(rev), len(refSmall))
+	}
+}
+
+func TestPublicFindMaximum(t *testing.T) {
+	g := kplex.GNP(40, 0.4, 11)
+	p, err := kplex.FindMaximumKPlex(context.Background(), g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		t.Skip("no 2-plex of size >= 3 in this sample")
+	}
+	if !kplex.IsMaximalKPlex(g, p, 2) {
+		t.Fatal("maximum result is not a maximal k-plex")
+	}
+	// No maximal k-plex reported by the enumerator may be bigger.
+	all, _, err := kplex.EnumerateAll(context.Background(), g, kplex.NewOptions(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range all {
+		if len(other) > len(p) {
+			t.Fatalf("found %d-vertex plex, FindMaximumKPlex returned %d", len(other), len(p))
+		}
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	if g := kplex.BarabasiAlbert(200, 4, 1); g.N() != 200 {
+		t.Fatal("ba size")
+	}
+	if g := kplex.ChungLu(200, 8, 2.5, 1); g.N() != 200 {
+		t.Fatal("chunglu size")
+	}
+	g := kplex.Planted(kplex.PlantedConfig{
+		N: 150, BackgroundP: 0.02, Communities: 2, CommSize: 12, DropPerV: 1, Seed: 3,
+	})
+	if g.N() != 150 {
+		t.Fatal("planted size")
+	}
+	// The planted communities must surface as k-plexes.
+	plexes, _, err := kplex.EnumerateAll(context.Background(), g, kplex.NewOptions(2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plexes) == 0 {
+		t.Fatal("no plexes found in planted graph")
+	}
+	sizes := make([]int, len(plexes))
+	for i, p := range plexes {
+		sizes[i] = len(p)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	if sizes[0] < 12 {
+		t.Fatalf("largest plex %d smaller than planted community", sizes[0])
+	}
+}

@@ -1,0 +1,73 @@
+// Command calibrate sweeps q for each benchmark dataset and prints the
+// result count and running time of the default algorithm, used to pick the
+// (k, q) grids in internal/bench/datasets.go so that every experiment row
+// has a non-trivial result set and a bounded runtime.
+//
+// Usage:
+//
+//	calibrate                       # sweep the whole suite
+//	calibrate -dataset jazz-syn     # one dataset
+//	calibrate -k 3 -budget 10s     # cap per-cell time
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/graph"
+	"repro/internal/kplex"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "restrict to one dataset")
+		kFlag   = flag.Int("k", 0, "restrict to one k (default: 2, 3, 4)")
+		budget  = flag.Duration("budget", 15*time.Second, "per-cell time budget")
+		class   = flag.String("class", "", "restrict to a class: small | medium | large")
+	)
+	flag.Parse()
+
+	ks := []int{2, 3, 4}
+	if *kFlag != 0 {
+		ks = []int{*kFlag}
+	}
+	for _, d := range bench.Suite() {
+		if *dataset != "" && d.Name != *dataset {
+			continue
+		}
+		if *class != "" && string(d.Class) != *class {
+			continue
+		}
+		g := d.Build()
+		fmt.Printf("== %s: %s\n", d.Name, graph.ComputeStats(g))
+		for _, k := range ks {
+			// Descend from a high q: cheap empty cells first, stop at the
+			// first cell that exceeds the budget. This avoids burning the
+			// full budget on every under-threshold q.
+			qMin := 2*k - 1
+			started := false
+			for q := 60; q >= qMin; q -= 2 {
+				ctx, cancel := context.WithTimeout(context.Background(), *budget)
+				opts := kplex.NewOptions(k, q)
+				res, err := kplex.Run(ctx, g, opts)
+				cancel()
+				status := ""
+				if err != nil {
+					status = " TIMEOUT"
+				}
+				if !started && err == nil && res.Count == 0 {
+					continue // still above the largest plex; skip silently
+				}
+				started = true
+				fmt.Printf("  k=%d q=%-3d count=%-12d time=%-10v%s\n",
+					k, q, res.Count, res.Elapsed.Round(time.Millisecond), status)
+				if err != nil || res.Elapsed > *budget/2 {
+					break
+				}
+			}
+		}
+	}
+}

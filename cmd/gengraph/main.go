@@ -1,0 +1,91 @@
+// Command gengraph writes synthetic graphs in edge-list format, either from
+// the named benchmark suite or from raw generator parameters.
+//
+// Usage:
+//
+//	gengraph -suite wiki-vote-syn > wiki.txt
+//	gengraph -model gnp -n 1000 -p 0.05 -seed 7 > gnp.txt
+//	gengraph -model chunglu -n 10000 -avgdeg 12 -gamma 2.3 > cl.txt
+//	gengraph -model ba -n 5000 -m 8 > ba.txt
+//	gengraph -model rmat -scale 14 -edgefactor 8 > rmat.txt
+//	gengraph -model planted -n 2000 -communities 20 -commsize 15 -drop 2 > pl.txt
+//	gengraph -list    # show suite dataset names and stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		suite       = flag.String("suite", "", "emit a named benchmark dataset")
+		list        = flag.Bool("list", false, "list benchmark datasets with their stats")
+		model       = flag.String("model", "", "generator: gnp | chunglu | ba | rmat | planted")
+		n           = flag.Int("n", 1000, "vertex count")
+		p           = flag.Float64("p", 0.01, "gnp edge probability / planted background probability")
+		avgdeg      = flag.Float64("avgdeg", 10, "chunglu target average degree")
+		gamma       = flag.Float64("gamma", 2.5, "chunglu power-law exponent")
+		m           = flag.Int("m", 5, "ba attachment edges per vertex")
+		scale       = flag.Int("scale", 12, "rmat scale (n = 2^scale)")
+		edgefactor  = flag.Int("edgefactor", 8, "rmat edges per vertex")
+		communities = flag.Int("communities", 10, "planted community count")
+		commsize    = flag.Int("commsize", 15, "planted community size")
+		drop        = flag.Int("drop", 1, "planted missing edges per community vertex")
+		overlap     = flag.Int("overlap", 0, "planted overlap between consecutive communities")
+		seed        = flag.Int64("seed", 1, "random seed")
+		binOut      = flag.Bool("binary", false, "emit the compact binary format instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range bench.Suite() {
+			s := graph.ComputeStats(d.Build())
+			fmt.Printf("%-14s %-6s analog=%-12s %s\n", d.Name, d.Class, d.Analog, s)
+		}
+		return
+	}
+
+	var g *graph.Graph
+	switch {
+	case *suite != "":
+		d, ok := bench.ByName(*suite)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gengraph: unknown dataset %q; try -list\n", *suite)
+			os.Exit(2)
+		}
+		g = d.Build()
+	case *model == "gnp":
+		g = gen.GNP(*n, *p, *seed)
+	case *model == "chunglu":
+		g = gen.ChungLu(*n, *avgdeg, *gamma, *seed)
+	case *model == "ba":
+		g = gen.BarabasiAlbert(*n, *m, *seed)
+	case *model == "rmat":
+		g = gen.RMAT(*scale, *edgefactor, 0.57, 0.19, 0.19, *seed)
+	case *model == "planted":
+		g = gen.Planted(gen.PlantedConfig{
+			N: *n, BackgroundP: *p, Communities: *communities,
+			CommSize: *commsize, DropPerV: *drop, Overlap: *overlap, Seed: *seed,
+		})
+	default:
+		fmt.Fprintln(os.Stderr, "gengraph: need -suite, -list or -model")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "generated: %s\n", graph.ComputeStats(g))
+	write := graph.WriteEdgeList
+	if *binOut {
+		write = graph.WriteBinary
+	}
+	if err := write(os.Stdout, g); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+// Command kplexbench regenerates the tables and figures of the paper's
+// evaluation section on the synthetic dataset suite.
+//
+// Usage:
+//
+//	kplexbench -all            # every table and figure (slow)
+//	kplexbench -table 3        # one table (2-7)
+//	kplexbench -figure 8       # one figure (7, 8, 9, 13)
+//	kplexbench -ext ubcolor    # extension: coloring-bound ablation
+//	kplexbench -ext maximum    # extension: maximum k-plex solvers
+//	kplexbench -quick ...      # representative subset, ~1 minute total
+//	kplexbench -threads 8 ...  # worker count for the parallel experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 0, "regenerate one table (2-7)")
+		figure  = flag.Int("figure", 0, "regenerate one figure (7, 8, 9, 13)")
+		ext     = flag.String("ext", "", "extension experiment: ubcolor or maximum")
+		all     = flag.Bool("all", false, "regenerate everything")
+		quick   = flag.Bool("quick", false, "representative subset only")
+		threads = flag.Int("threads", 0, "parallel worker count (default min(16, CPUs))")
+	)
+	flag.Parse()
+
+	cfg := &bench.Config{Quick: *quick, Threads: *threads, Out: os.Stdout}
+
+	type job struct {
+		name string
+		run  func() error
+	}
+	jobs := map[string]job{
+		"table2":   {"Table 2", cfg.Table2},
+		"table3":   {"Table 3", cfg.Table3},
+		"table4":   {"Table 4", cfg.Table4},
+		"table5":   {"Table 5", cfg.Table5},
+		"table6":   {"Table 6", cfg.Table6},
+		"table7":   {"Table 7", cfg.Table7},
+		"figure7":  {"Figure 7", cfg.Figure7},
+		"figure8":  {"Figure 8", cfg.Figure8},
+		"figure9":  {"Figure 9", cfg.Figure9},
+		"figure13": {"Figure 13", cfg.Figure13},
+		"figure14": {"Figure 14", cfg.Figure14},
+		"figure15": {"Figure 15", cfg.Figure15},
+		"ubcolor":  {"Table 5x (extension)", cfg.TableUBColor},
+		"maximum":  {"Table M (extension)", cfg.TableMaximum},
+	}
+	order := []string{
+		"table2", "table3", "figure7", "table4", "figure8",
+		"table5", "table6", "figure9", "figure13", "figure14",
+		"figure15", "table7", "ubcolor", "maximum",
+	}
+
+	var selected []string
+	switch {
+	case *all:
+		selected = order
+	case *table != 0:
+		key := fmt.Sprintf("table%d", *table)
+		if _, ok := jobs[key]; !ok {
+			fmt.Fprintf(os.Stderr, "kplexbench: no such table %d (have 2-7)\n", *table)
+			os.Exit(2)
+		}
+		selected = []string{key}
+	case *figure != 0:
+		key := fmt.Sprintf("figure%d", *figure)
+		if _, ok := jobs[key]; !ok {
+			fmt.Fprintf(os.Stderr, "kplexbench: no such figure %d (have 7, 8, 9, 13, 14, 15)\n", *figure)
+			os.Exit(2)
+		}
+		selected = []string{key}
+	case *ext != "":
+		if _, ok := jobs[*ext]; !ok || (*ext != "ubcolor" && *ext != "maximum") {
+			fmt.Fprintf(os.Stderr, "kplexbench: no such extension %q (have ubcolor, maximum)\n", *ext)
+			os.Exit(2)
+		}
+		selected = []string{*ext}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, key := range selected {
+		if err := jobs[key].run(); err != nil {
+			fmt.Fprintf(os.Stderr, "kplexbench: %s: %v\n", jobs[key].name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

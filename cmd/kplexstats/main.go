@@ -1,0 +1,102 @@
+// Command kplexstats prints dataset statistics: the paper's Table 2 columns
+// (n, m, Δ, D) plus the extended measures (clustering, assortativity, shell
+// structure) used to check that the synthetic suite tracks its real-graph
+// analogues.
+//
+// Usage:
+//
+//	kplexstats -suite                 # every dataset in the benchmark suite
+//	kplexstats -dataset dblp-syn      # one suite dataset
+//	kplexstats graph.txt [more...]    # graph files (format auto-detected)
+//	kplexstats -format metis g.metis  # explicit input format
+//	kplexstats -shells g.txt          # also print the k-shell profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		suite   = flag.Bool("suite", false, "print stats for the whole benchmark suite")
+		dataset = flag.String("dataset", "", "print stats for one suite dataset")
+		format  = flag.String("format", "", "input format: edgelist, dimacs, metis, matrixmarket, binary (default: auto)")
+		shells  = flag.Bool("shells", false, "also print the coreness shell sizes")
+	)
+	flag.Parse()
+
+	switch {
+	case *suite:
+		for _, d := range bench.Suite() {
+			printStats(d.Name, d.Build(), *shells)
+		}
+	case *dataset != "":
+		d, ok := bench.ByName(*dataset)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "kplexstats: unknown dataset %q; have %v\n", *dataset, bench.Names())
+			os.Exit(2)
+		}
+		printStats(d.Name, d.Build(), *shells)
+	case flag.NArg() > 0:
+		f, err := parseFormat(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kplexstats:", err)
+			os.Exit(2)
+		}
+		for _, path := range flag.Args() {
+			g, err := graph.ReadFormatFile(path, f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kplexstats: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			printStats(path, g, *shells)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseFormat(name string) (graph.Format, error) {
+	switch name {
+	case "":
+		return graph.FormatUnknown, nil
+	case "edgelist":
+		return graph.FormatEdgeList, nil
+	case "dimacs":
+		return graph.FormatDIMACS, nil
+	case "metis":
+		return graph.FormatMETIS, nil
+	case "matrixmarket":
+		return graph.FormatMatrixMarket, nil
+	case "binary":
+		return graph.FormatBinary, nil
+	default:
+		return graph.FormatUnknown, fmt.Errorf("unknown format %q", name)
+	}
+}
+
+func printStats(name string, g *graph.Graph, shells bool) {
+	s := graph.ComputeExtendedStats(g)
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  n=%d m=%d Δ=%d D=%d avg-deg=%.2f\n",
+		s.N, s.M, s.MaxDegree, s.Degeneracy, s.AvgDegree)
+	fmt.Printf("  triangles=%d transitivity=%.4f avg-clustering=%.4f\n",
+		s.Triangles, s.Transitivity, s.AvgClustering)
+	fmt.Printf("  assortativity=%+.4f components=%d diam>=%d\n",
+		s.Assortativity, s.Components, s.ApproxDiam)
+	if shells {
+		fmt.Printf("  shells:")
+		for c, size := range graph.ShellSizes(g) {
+			if size > 0 {
+				fmt.Printf(" %d:%d", c, size)
+			}
+		}
+		fmt.Println()
+	}
+}

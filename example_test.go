@@ -1,0 +1,88 @@
+package kplex_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	kplex "repro"
+)
+
+// ExampleEnumerate counts the maximal 2-plexes of a small fixed graph.
+func ExampleEnumerate() {
+	var b kplex.Builder
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 0}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := kplex.Enumerate(context.Background(), g, kplex.NewOptions(2, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Count)
+	// Output: 1
+}
+
+// ExampleEnumerateAll retrieves the plexes themselves.
+func ExampleEnumerateAll() {
+	var b kplex.Builder
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, _ := b.Build(4)
+	plexes, _, err := kplex.EnumerateAll(context.Background(), g, kplex.NewOptions(2, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Each plex is sorted; the plex order follows the search (degeneracy
+	// order of seed vertices), so sort for a stable listing.
+	sort.Slice(plexes, func(i, j int) bool {
+		return fmt.Sprint(plexes[i]) < fmt.Sprint(plexes[j])
+	})
+	for _, p := range plexes {
+		fmt.Println(p)
+	}
+	// Output:
+	// [0 1 2]
+	// [0 2 3]
+	// [1 2 3]
+}
+
+// ExampleIsKPlex demonstrates the definition: in a 4-cycle with one chord,
+// the whole vertex set is a 2-plex but not a clique.
+func ExampleIsKPlex() {
+	var b kplex.Builder
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, _ := b.Build(4)
+	all := []int{0, 1, 2, 3}
+	fmt.Println(kplex.IsKPlex(g, all, 1), kplex.IsKPlex(g, all, 2))
+	// Output: false true
+}
+
+// ExampleFindMaximumKPlex finds the largest 2-plex of a clique with one
+// edge removed (the whole graph: each endpoint of the missing edge misses
+// exactly one other member).
+func ExampleFindMaximumKPlex() {
+	var b kplex.Builder
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if i == 0 && j == 1 {
+				continue // drop one edge
+			}
+			b.AddEdge(i, j)
+		}
+	}
+	g, _ := b.Build(5)
+	p, err := kplex.FindMaximumKPlex(context.Background(), g, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(p))
+	// Output: 5
+}

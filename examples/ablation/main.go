@@ -1,0 +1,66 @@
+// Ablation walk-through: how each of the paper's pruning techniques
+// (upper bounding, sub-task bound R1, vertex-pair rules R2) shrinks the
+// search, shown through the engine's statistics counters.
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	kplex "repro"
+)
+
+func run(name string, g *kplex.Graph, opts kplex.Options) kplex.Result {
+	res, err := kplex.Enumerate(context.Background(), g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("%-12s %10v  count=%-8d tasks=%-7d prunedR1=%-6d branches=%-9d ubPruned=%d\n",
+		name, res.Elapsed.Round(time.Millisecond), res.Count,
+		st.Tasks, st.TasksPrunedR1, st.Branches, st.UBPruned)
+	return res
+}
+
+func main() {
+	g := kplex.ChungLu(2000, 22, 2.2, 5)
+	fmt.Printf("graph: %v\n", kplex.ComputeGraphStats(g))
+	const k, q = 4, 24
+	fmt.Printf("k=%d q=%d\n\n", k, q)
+
+	// Basic: the branch-and-bound framework with upper bounding but no R1
+	// and no R2 — the baseline of the paper's Table 6.
+	basic := run("Basic", g, kplex.BasicOptions(k, q))
+
+	// Basic+R1: prune initial sub-tasks whose Theorem 5.7 bound is < q.
+	r1 := kplex.BasicOptions(k, q)
+	r1.UseSubtaskBound = true
+	run("Basic+R1", g, r1)
+
+	// Basic+R2: the vertex-pair compatibility matrix (Thms 5.13-5.15).
+	r2 := kplex.BasicOptions(k, q)
+	r2.UsePairPruning = true
+	run("Basic+R2", g, r2)
+
+	// Ours: everything on.
+	ours := run("Ours", g, kplex.NewOptions(k, q))
+
+	// Ours without any upper bound (Table 5's Ours\ub).
+	noUB := kplex.NewOptions(k, q)
+	noUB.UpperBound = kplex.UBNone
+	run("Ours\\ub", g, noUB)
+
+	// Ours with the FP-style sorted bound (Table 5's Ours\ub+fp).
+	fpUB := kplex.NewOptions(k, q)
+	fpUB.UpperBound = kplex.UBSortFP
+	run("Ours\\ub+fp", g, fpUB)
+
+	if basic.Count != ours.Count {
+		log.Fatalf("ablation variants disagree: %d vs %d", basic.Count, ours.Count)
+	}
+	fmt.Printf("\nall variants report the same %d maximal k-plexes; only the amount of search differs\n", ours.Count)
+}

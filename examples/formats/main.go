@@ -1,0 +1,82 @@
+// Command formats demonstrates the graph I/O layer: generate a dataset,
+// write it in every supported on-disk format, read each file back
+// (auto-detecting where possible), verify the round trips agree, and run
+// the enumerator on the reloaded graph to show the pipeline end to end.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	kplex "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "kplex-formats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	g := kplex.ChungLu(1500, 14, 2.3, 7)
+	fmt.Printf("generated: %s\n", kplex.ComputeGraphStats(g))
+
+	formats := []struct {
+		name string
+		f    kplex.GraphFormat
+		auto bool // auto-detection supported
+	}{
+		{"edgelist", kplex.FormatEdgeList, true},
+		{"dimacs", kplex.FormatDIMACS, true},
+		{"metis", kplex.FormatMETIS, false},
+		{"matrixmarket", kplex.FormatMatrixMarket, true},
+		{"binary", kplex.FormatBinary, true},
+	}
+
+	for _, fc := range formats {
+		path := filepath.Join(dir, "graph."+fc.name)
+		if err := kplex.WriteGraphFormatFile(path, g, fc.f); err != nil {
+			log.Fatalf("write %s: %v", fc.name, err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		readAs := fc.f
+		how := "explicit"
+		if fc.auto {
+			readAs = kplex.FormatAuto
+			how = "auto-detected"
+		}
+		back, err := kplex.ReadGraphFormatFile(path, readAs)
+		if err != nil {
+			log.Fatalf("read %s: %v", fc.name, err)
+		}
+		if back.M() != g.M() {
+			log.Fatalf("%s: round trip mismatch (m=%d, want m=%d)", fc.name, back.M(), g.M())
+		}
+		note := ""
+		if back.N() != g.N() {
+			// Edge lists carry no vertex count, so isolated vertices are
+			// not representable; every other format preserves them.
+			note = fmt.Sprintf("  (%d isolated vertices dropped)", g.N()-back.N())
+		}
+		fmt.Printf("  %-13s %8d bytes  round-trip ok (%s)%s\n", fc.name, info.Size(), how, note)
+	}
+
+	// Enumerate on the binary-format reload to close the loop.
+	back, err := kplex.ReadGraphFormatFile(filepath.Join(dir, "graph.binary"), kplex.FormatAuto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := kplex.Enumerate(context.Background(), back, kplex.NewOptions(2, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enumeration on reloaded graph: %d maximal 2-plexes (>= 8 vertices) in %v\n",
+		res.Count, res.Elapsed.Round(1000000))
+}

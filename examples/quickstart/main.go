@@ -1,0 +1,55 @@
+// Quickstart: build a small graph, enumerate its maximal k-plexes, and
+// print them. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	kplex "repro"
+)
+
+func main() {
+	// The toy graph from the paper's Figure 3: seven vertices where
+	// {v1..v5} form a dense near-clique and v6, v7 hang off it.
+	var b kplex.Builder
+	edges := [][2]int{
+		{1, 2}, {1, 5}, {1, 7}, {2, 3}, {2, 5}, {2, 7},
+		{3, 5}, {3, 4}, {4, 5}, {4, 6}, {5, 7}, {6, 7},
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build(8) // vertex 0 is isolated and plays no role
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every vertex of a 2-plex may miss up to 2 in-set links (itself
+	// included), i.e. one real missing edge. q = 4 asks for plexes with at
+	// least 4 vertices; q >= 2k-1 is required.
+	const k, q = 2, 4
+	plexes, res, err := kplex.EnumerateAll(context.Background(), g, kplex.NewOptions(k, q))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("graph: %v\n", kplex.ComputeGraphStats(g))
+	fmt.Printf("found %d maximal %d-plexes with >= %d vertices in %v:\n",
+		res.Count, k, q, res.Elapsed)
+	for _, p := range plexes {
+		fmt.Printf("  %v (verified: %v)\n", p, kplex.IsMaximalKPlex(g, p, k))
+	}
+
+	// Counting without materialising: use Enumerate with no callback.
+	big := kplex.GNP(500, 0.1, 42)
+	res2, err := kplex.Enumerate(context.Background(), big, kplex.NewOptions(2, 5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGNP(500, 0.1): %d maximal 2-plexes with >= 5 vertices in %v\n",
+		res2.Count, res2.Elapsed)
+}

@@ -1,0 +1,143 @@
+package baseline
+
+// FaPlexenEnumerate is a standalone reimplementation of the FaPlexen /
+// CommuPlex branching scheme (Zhou et al., AAAI 2020), the second BK-style
+// baseline of the paper's Section 2 and the origin of the Eq (4)-(6)
+// branching that the paper's Ours_P variant adopts. It runs over the whole
+// graph (no seed decomposition) with plain slice sets, so it is a second
+// independent oracle with different decomposition, branching and data
+// structures from both the engine and D2KEnumerate.
+
+import (
+	"repro/internal/graph"
+)
+
+// FaPlexenEnumerate lists all maximal k-plexes of g with at least q
+// vertices (q >= 2 required; q >= 2k-1 is NOT required here because the
+// algorithm does not rely on the diameter-2 decomposition).
+func FaPlexenEnumerate(g *graph.Graph, k, q int) [][]int {
+	if k < 1 || q < 1 {
+		panic("baseline: FaPlexenEnumerate requires k >= 1 and q >= 1")
+	}
+	e := &faplexen{g: g, k: k, q: q}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	return e.mine(nil, nil, all, nil)
+}
+
+type faplexen struct {
+	g    *graph.Graph
+	k, q int
+}
+
+func (e *faplexen) mine(out [][]int, P, C, X []int) [][]int {
+	// The Eq (5)-(6) branches add several vertices at once, which can
+	// overdraw another member's budget; such branches are dead.
+	if !isKPlexSet(e.g, P, e.k) {
+		return out
+	}
+	sat := saturated(e.g, P, e.k)
+	C = refine(e.g, P, sat, C, e.k)
+	X = refine(e.g, P, sat, X, e.k)
+
+	if len(C) == 0 {
+		if len(X) == 0 && len(P) >= e.q {
+			out = emitSorted(out, P)
+		}
+		return out
+	}
+
+	// Pivot: minimum degree within G[P ∪ C].
+	pc := append(append([]int(nil), P...), C...)
+	vp, vpInP, minDeg := -1, false, len(pc)
+	for _, v := range pc {
+		if d := plexDegree(e.g, pc, v); d < minDeg {
+			vp, minDeg = v, d
+		}
+	}
+	for _, u := range P {
+		if u == vp {
+			vpInP = true
+			break
+		}
+	}
+
+	// Collapse: when even the min-degree vertex meets the threshold, P ∪ C
+	// is a k-plex and the subtree has at most one maximal answer.
+	if minDeg >= len(pc)-e.k {
+		if len(pc) >= e.q {
+			satPC := saturated(e.g, pc, e.k)
+			if len(refine(e.g, pc, satPC, X, e.k)) == 0 {
+				out = emitSorted(out, pc)
+			}
+		}
+		return out
+	}
+
+	if !vpInP {
+		// Binary branching on a C pivot: include vp, then exclude it.
+		ci := indexOf(C, vp)
+		P2 := append(append([]int(nil), P...), vp)
+		out = e.mine(out, P2, removeAt(C, ci), X)
+		return e.mine(out, P, removeAt(C, ci), append(append([]int(nil), X...), vp))
+	}
+
+	// vp ∈ P: FaPlexen's Eq (4)-(6) multi-way branching over vp's
+	// non-neighbours in C, W = {w_1, ..., w_l}, with budget
+	// s = sup_P(vp) = k - d̄_P(vp).
+	s := e.k - (len(P) - plexDegree(e.g, P, vp))
+	var W []int
+	for _, v := range C {
+		if !e.g.HasEdge(vp, v) {
+			W = append(W, v)
+		}
+	}
+	// The collapse check failed with vp having minimum degree, so
+	// d̄_{P∪C}(vp) > k, which forces |W| > s >= 0.
+	if s < 0 {
+		s = 0
+	}
+	if s >= len(W) {
+		s = len(W) - 1
+	}
+
+	inW := make(map[int]bool, len(W))
+	for _, w := range W {
+		inW[w] = true
+	}
+	cMinusW := make([]int, 0, len(C)-len(W))
+	for _, v := range C {
+		if !inW[v] {
+			cMinusW = append(cMinusW, v)
+		}
+	}
+
+	// Branch 1 (Eq 4): exclude w_1.
+	C2 := append(append([]int(nil), cMinusW...), W[1:]...)
+	out = e.mine(out, P, C2, append(append([]int(nil), X...), W[0]))
+
+	// Branches i = 2..s (Eq 5): include w_1..w_{i-1}, exclude w_i.
+	for i := 2; i <= s; i++ {
+		P2 := append(append([]int(nil), P...), W[:i-1]...)
+		C3 := append(append([]int(nil), cMinusW...), W[i:]...)
+		X3 := append(append([]int(nil), X...), W[i-1])
+		out = e.mine(out, P2, C3, X3)
+	}
+
+	// Final branch (Eq 6): include w_1..w_s; the rest of W can never join
+	// (vp's budget is spent) and is parked in X, where refinement drops it.
+	P2 := append(append([]int(nil), P...), W[:s]...)
+	X2 := append(append([]int(nil), X...), W[s+1:]...)
+	return e.mine(out, P2, cMinusW, append(X2, W[s]))
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

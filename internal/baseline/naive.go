@@ -1,0 +1,91 @@
+// Package baseline implements the comparison algorithms of the paper's
+// evaluation: a direct Bron-Kerbosch k-plex enumerator (Algorithm 1 of the
+// paper, used as a correctness oracle), and option presets that configure
+// the shared branch-and-bound engine to behave like ListPlex and FP, the
+// two state-of-the-art baselines of Section 7.
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/kplex"
+)
+
+// NaiveEnumerate runs the textbook Bron-Kerbosch adaptation for k-plexes
+// (the paper's Algorithm 1) over the whole graph, without any pruning or
+// decomposition. Exponential in n with a large constant: use only on small
+// graphs (it is the ground-truth oracle for tests). Results are emitted as
+// sorted vertex slices in ascending lexicographic order of discovery; only
+// maximal k-plexes with at least q vertices are reported.
+func NaiveEnumerate(g *graph.Graph, k, q int) [][]int {
+	n := g.N()
+	var out [][]int
+	var rec func(P, C, X []int)
+	rec = func(P, C, X []int) {
+		if len(C) == 0 {
+			if len(X) == 0 && len(P) >= q {
+				cp := append([]int(nil), P...)
+				sort.Ints(cp)
+				out = append(out, cp)
+			}
+			return
+		}
+		// Iterate candidates; each iteration moves the head of C to X.
+		C2 := append([]int(nil), C...)
+		for i, v := range C2 {
+			P2 := append(append([]int(nil), P...), v)
+			var C3, X3 []int
+			for _, u := range C2[i+1:] {
+				if kplex.IsKPlex(g, append(P2, u), k) {
+					C3 = append(C3, u)
+				}
+			}
+			for _, u := range X {
+				if kplex.IsKPlex(g, append(P2, u), k) {
+					X3 = append(X3, u)
+				}
+			}
+			for _, u := range C2[:i] {
+				if kplex.IsKPlex(g, append(P2, u), k) {
+					X3 = append(X3, u)
+				}
+			}
+			rec(P2, C3, X3)
+		}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	rec(nil, all, nil)
+	return out
+}
+
+// ListPlexOptions configures the engine as the ListPlex baseline: the same
+// sub-task partitioning (ListPlex introduced it), but FaPlexen's branching
+// when the pivot is in P, no upper-bound pruning, and no vertex-pair rules
+// — the combination Section 2 attributes to ListPlex.
+func ListPlexOptions(k, q int) kplex.Options {
+	o := kplex.NewOptions(k, q)
+	o.Branching = kplex.BranchFaPlexen
+	o.UpperBound = kplex.UBNone
+	o.UseSubtaskBound = false
+	o.UsePairPruning = false
+	return o
+}
+
+// FPOptions configures the engine as the FP baseline: one task per seed
+// over the whole later 2-hop candidate set (the O(γ^|C|) scheme the paper
+// improves on), with FP's sort-based upper bound and no pair rules. The
+// parallel version serialises subgraph construction, reproducing the
+// bottleneck the paper observes in FP's parallel implementation.
+func FPOptions(k, q int) kplex.Options {
+	o := kplex.NewOptions(k, q)
+	o.Partition = kplex.PartitionWhole2Hop
+	o.UpperBound = kplex.UBSortFP
+	o.UseSubtaskBound = false
+	o.UsePairPruning = false
+	o.SerializeSeedBuild = true
+	return o
+}

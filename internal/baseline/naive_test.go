@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func buildGraph(t *testing.T, n int, edges [][2]int) *graph.Graph {
+	t.Helper()
+	var b graph.Builder
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sorted(plexes [][]int) [][]int {
+	for _, p := range plexes {
+		sort.Ints(p)
+	}
+	sort.Slice(plexes, func(i, j int) bool {
+		a, b := plexes[i], plexes[j]
+		for x := 0; x < len(a) && x < len(b); x++ {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return plexes
+}
+
+func TestNaiveOnTriangleWithPendant(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 attached to 2.
+	g := buildGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+
+	// k=1 (maximal cliques) with q=3: just the triangle.
+	got := sorted(NaiveEnumerate(g, 1, 3))
+	if len(got) != 1 || len(got[0]) != 3 {
+		t.Fatalf("cliques q=3: %v", got)
+	}
+
+	// k=2, q=3: {0,1,2,3} is a 2-plex (vertices 0 and 1 miss only vertex 3,
+	// vertex 3 misses 0 and 1 — that's 2 missing links + itself = 3 > 2).
+	// So the maximal 2-plexes of size >= 3 are {0,1,2}, {0,2,3}, {1,2,3}.
+	got = sorted(NaiveEnumerate(g, 2, 3))
+	want := [][]int{{0, 1, 2}, {0, 2, 3}, {1, 2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("2-plexes: got %v, want %v", got, want)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("2-plexes: got %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestNaiveOnCompleteGraph(t *testing.T) {
+	// K5: the only maximal k-plex is the whole graph, for any k.
+	var edges [][2]int
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	g := buildGraph(t, 5, edges)
+	for k := 1; k <= 3; k++ {
+		got := NaiveEnumerate(g, k, 3)
+		if len(got) != 1 || len(got[0]) != 5 {
+			t.Fatalf("k=%d: %v", k, got)
+		}
+	}
+}
+
+func TestNaiveSizeFilter(t *testing.T) {
+	g := buildGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if got := NaiveEnumerate(g, 1, 4); len(got) != 0 {
+		t.Fatalf("q=4 on a triangle graph returned %v", got)
+	}
+}
+
+func TestNaiveDisconnectedKPlex(t *testing.T) {
+	// Two disjoint edges: {0,1} ∪ {2,3} is a 2-plex of size 4 (every vertex
+	// misses 2 others + itself = 3... that's > 2, so NOT a 2-plex). For
+	// k=3 it IS a 3-plex. This pins the self-counting convention.
+	g := buildGraph(t, 4, [][2]int{{0, 1}, {2, 3}})
+	got := NaiveEnumerate(g, 3, 4)
+	if len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("k=3: %v", got)
+	}
+	if got := NaiveEnumerate(g, 2, 4); len(got) != 0 {
+		t.Fatalf("k=2 should find nothing of size 4, got %v", got)
+	}
+}
+
+func TestBaselineOptionPresets(t *testing.T) {
+	lp := ListPlexOptions(3, 8)
+	if err := lp.Validate(); err != nil {
+		t.Fatalf("ListPlexOptions invalid: %v", err)
+	}
+	if lp.UseSubtaskBound || lp.UsePairPruning {
+		t.Fatal("ListPlex preset must disable R1/R2")
+	}
+	fp := FPOptions(3, 8)
+	if err := fp.Validate(); err != nil {
+		t.Fatalf("FPOptions invalid: %v", err)
+	}
+	if !fp.SerializeSeedBuild {
+		t.Fatal("FP preset must serialise seed builds")
+	}
+}

@@ -1,0 +1,180 @@
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kplex"
+)
+
+// canonical renders a result set as a sorted multiset of sorted slices so
+// that enumerators with different emission orders can be compared.
+func canonical(plexes [][]int) []string {
+	keys := make([]string, len(plexes))
+	for i, p := range plexes {
+		cp := append([]int(nil), p...)
+		sort.Ints(cp)
+		keys[i] = fmt.Sprint(cp)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameResults(t *testing.T, label string, got, want [][]int) {
+	t.Helper()
+	g, w := canonical(got), canonical(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: got %d plexes, want %d", label, len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: result %d differs: got %s, want %s", label, i, g[i], w[i])
+		}
+	}
+}
+
+func randomGNP(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var b graph.Builder
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g, err := b.Build(n)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestD2KMatchesNaiveOnRandomGraphs(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		n := 8 + trial
+		g := randomGNP(n, 0.45, int64(trial))
+		for _, kq := range [][2]int{{1, 3}, {2, 3}, {2, 4}, {3, 5}} {
+			k, q := kq[0], kq[1]
+			want := NaiveEnumerate(g, k, q)
+			got := D2KEnumerate(g, k, q)
+			sameResults(t, fmt.Sprintf("trial %d k=%d q=%d", trial, k, q), got, want)
+		}
+	}
+}
+
+func TestFaPlexenMatchesNaiveOnRandomGraphs(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		n := 8 + trial
+		g := randomGNP(n, 0.45, int64(100+trial))
+		for _, kq := range [][2]int{{1, 3}, {2, 3}, {2, 4}, {3, 5}} {
+			k, q := kq[0], kq[1]
+			want := NaiveEnumerate(g, k, q)
+			got := FaPlexenEnumerate(g, k, q)
+			sameResults(t, fmt.Sprintf("trial %d k=%d q=%d", trial, k, q), got, want)
+		}
+	}
+}
+
+// Three independent implementations (engine, D2K, FaPlexen) must agree on
+// graphs large enough that the naive oracle is too slow.
+func TestOraclesAgreeWithEngineOnMediumGraphs(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnp-60":     randomGNP(60, 0.18, 1),
+		"chunglu-80": gen.ChungLu(80, 10, 2.2, 2),
+		"planted": gen.Planted(gen.PlantedConfig{
+			N: 70, BackgroundP: 0.02, Communities: 5, CommSize: 8,
+			DropPerV: 1, Overlap: 2, Seed: 3,
+		}),
+	}
+	for name, g := range graphs {
+		for _, kq := range [][2]int{{2, 5}, {3, 6}} {
+			k, q := kq[0], kq[1]
+			label := fmt.Sprintf("%s k=%d q=%d", name, k, q)
+
+			engine, _, err := enumerateAll(g, k, q)
+			if err != nil {
+				t.Fatalf("%s: engine: %v", label, err)
+			}
+			sameResults(t, label+" d2k-vs-engine", D2KEnumerate(g, k, q), engine)
+			sameResults(t, label+" faplexen-vs-engine", FaPlexenEnumerate(g, k, q), engine)
+		}
+	}
+}
+
+func enumerateAll(g *graph.Graph, k, q int) ([][]int, kplex.Result, error) {
+	var out [][]int
+	opts := kplex.NewOptions(k, q)
+	opts.OnPlex = func(p []int) { out = append(out, append([]int(nil), p...)) }
+	res, err := kplex.Run(context.Background(), g, opts)
+	return out, res, err
+}
+
+func TestD2KOnPlantedCommunities(t *testing.T) {
+	// Each planted community is a (drop+1)-plex of size 10; with a sparse
+	// background the enumerator must find at least one plex of size >= 9.
+	g := gen.Planted(gen.PlantedConfig{
+		N: 60, BackgroundP: 0.01, Communities: 4, CommSize: 10,
+		DropPerV: 1, Overlap: 0, Seed: 4,
+	})
+	plexes := D2KEnumerate(g, 2, 9)
+	if len(plexes) == 0 {
+		t.Fatal("no k-plexes found on planted communities")
+	}
+	for _, p := range plexes {
+		if !kplex.IsKPlex(g, p, 2) {
+			t.Errorf("non-k-plex emitted: %v", p)
+		}
+		if !kplex.IsMaximalKPlex(g, p, 2) {
+			t.Errorf("non-maximal k-plex emitted: %v", p)
+		}
+	}
+}
+
+func TestFaPlexenCliqueCase(t *testing.T) {
+	// k=1 reduces to maximal cliques; a complete graph has exactly one.
+	var b graph.Builder
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	g, _ := b.Build(6)
+	got := FaPlexenEnumerate(g, 1, 3)
+	if len(got) != 1 || len(got[0]) != 6 {
+		t.Fatalf("K6 with k=1 q=3: got %v, want one 6-clique", got)
+	}
+}
+
+func TestD2KPanicsOnBadParams(t *testing.T) {
+	g := randomGNP(5, 0.5, 1)
+	for _, kq := range [][2]int{{0, 3}, {3, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d q=%d: expected panic", kq[0], kq[1])
+				}
+			}()
+			D2KEnumerate(g, kq[0], kq[1])
+		}()
+	}
+}
+
+func TestEnumeratorsOnEmptyAndTinyGraphs(t *testing.T) {
+	empty, _ := new(graph.Builder).Build(0)
+	if got := D2KEnumerate(empty, 2, 3); len(got) != 0 {
+		t.Errorf("empty graph: D2K returned %v", got)
+	}
+	if got := FaPlexenEnumerate(empty, 2, 3); len(got) != 0 {
+		t.Errorf("empty graph: FaPlexen returned %v", got)
+	}
+	single, _ := new(graph.Builder).Build(1)
+	if got := FaPlexenEnumerate(single, 1, 1); len(got) != 1 {
+		t.Errorf("single vertex, q=1: got %v, want the singleton", got)
+	}
+}

@@ -1,0 +1,55 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestReverseSearchMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		n := 8 + int(seed)%4
+		g := gen.GNP(n, 0.5, 900+seed)
+		for _, kq := range []struct{ k, q int }{{1, 1}, {2, 3}, {3, 5}} {
+			want := sorted(NaiveEnumerate(g, kq.k, kq.q))
+			got, err := ReverseSearchEnumerate(g, kq.k, kq.q, 100000)
+			if err != nil {
+				t.Fatalf("seed=%d k=%d: %v", seed, kq.k, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d k=%d q=%d: reverse found %d, naive %d",
+					seed, kq.k, kq.q, len(got), len(want))
+			}
+			for i := range want {
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("seed=%d k=%d q=%d: set %d differs: %v vs %v",
+							seed, kq.k, kq.q, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReverseSearchRejectsBadK(t *testing.T) {
+	g := gen.GNP(5, 0.5, 1)
+	if _, err := ReverseSearchEnumerate(g, 0, 1, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestReverseSearchSolutionCap(t *testing.T) {
+	g := gen.GNP(14, 0.6, 2)
+	if _, err := ReverseSearchEnumerate(g, 2, 3, 1); err == nil {
+		t.Fatal("cap of 1 not enforced on a graph with many solutions")
+	}
+}
+
+func TestReverseSearchEmptyGraph(t *testing.T) {
+	g := gen.GNP(0, 0, 1)
+	got, err := ReverseSearchEnumerate(g, 2, 3, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty graph: %v, %v", got, err)
+	}
+}

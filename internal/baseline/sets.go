@@ -1,0 +1,88 @@
+package baseline
+
+// Shared slice-based set helpers for the standalone baselines. These
+// implementations deliberately avoid the bitset machinery of the main
+// engine: they exercise different code and data-structure choices, so that
+// agreement between a baseline and the engine is meaningful evidence of
+// correctness rather than shared-bug propagation.
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// plexDegree returns |N(v) ∩ P|.
+func plexDegree(g *graph.Graph, P []int, v int) int {
+	d := 0
+	for _, u := range P {
+		if u != v && g.HasEdge(v, u) {
+			d++
+		}
+	}
+	return d
+}
+
+// saturated returns the members of P whose non-neighbour budget inside P is
+// exhausted: d̄_P(u) = |P| - d_P(u) = k, counting u itself.
+func saturated(g *graph.Graph, P []int, k int) []int {
+	var sat []int
+	for _, u := range P {
+		if len(P)-plexDegree(g, P, u) == k {
+			sat = append(sat, u)
+		}
+	}
+	return sat
+}
+
+// canJoin reports whether P ∪ {v} is a k-plex, assuming P already is one
+// and v ∉ P. Equivalent to the refinement test of Algorithm 3 lines 2-3:
+// v must miss at most k-1 members of P (v itself is the k-th) and must be
+// adjacent to every saturated member of P.
+func canJoin(g *graph.Graph, P, sat []int, k, v int) bool {
+	if len(P)+1-plexDegree(g, P, v) > k {
+		return false
+	}
+	for _, u := range sat {
+		if !g.HasEdge(u, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// refine returns the members v of set with P ∪ {v} a k-plex.
+func refine(g *graph.Graph, P, sat, set []int, k int) []int {
+	out := set[:0:0] // fresh backing array: callers keep the input
+	for _, v := range set {
+		if canJoin(g, P, sat, k, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// isKPlexSet reports whether the vertex set S is a k-plex of g.
+func isKPlexSet(g *graph.Graph, S []int, k int) bool {
+	for _, u := range S {
+		if len(S)-plexDegree(g, S, u) > k {
+			return false
+		}
+	}
+	return true
+}
+
+// emitSorted appends a sorted copy of P to out.
+func emitSorted(out [][]int, P []int) [][]int {
+	cp := append([]int(nil), P...)
+	sort.Ints(cp)
+	return append(out, cp)
+}
+
+// removeAt returns set without its i-th element, preserving order, in a
+// fresh slice.
+func removeAt(set []int, i int) []int {
+	out := make([]int, 0, len(set)-1)
+	out = append(out, set[:i]...)
+	return append(out, set[i+1:]...)
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kplex"
+)
+
+// figure14Cases lists the appendix q-sweep subplots that Figure 7 does not
+// already cover: the soc-epinions and email-euall analogues (paper Figure
+// 14 shows eight subplots across four datasets; Figures 7 and 14 share the
+// wiki-vote and soc-pokec panels, which figure7Cases provides).
+func (c *Config) figure14Cases() []struct {
+	ds Dataset
+	k  int
+	qs []int
+} {
+	epin, _ := ByName("epinions-syn")
+	email, _ := ByName("email-syn")
+	cases := []struct {
+		ds Dataset
+		k  int
+		qs []int
+	}{
+		{epin, 2, []int{14, 16, 18, 20}},
+		{epin, 3, []int{26, 28, 30, 32}},
+		{email, 3, []int{10, 12, 14}},
+		{email, 4, []int{14, 16, 18}},
+	}
+	if c.Quick {
+		cases = cases[:1]
+		cases[0].qs = cases[0].qs[:3]
+	}
+	return cases
+}
+
+// Figure14 prints the appendix time-vs-q series (paper Appendix B.3,
+// Figure 14) for the datasets not shown in Figure 7.
+func (c *Config) Figure14() error {
+	algos := SequentialAlgos()
+	three := []Algo{algos[0], algos[1], algos[3]} // FP, ListPlex, Ours
+	c.printf("Figure 14 — Running time vs q, appendix datasets (sec)\n")
+	for _, cs := range c.figure14Cases() {
+		g := cs.ds.Build()
+		c.printf("# %s (k=%d)\n", cs.ds.Name, cs.k)
+		c.printf("%4s %10s %10s %10s %12s\n", "q", "FP", "ListPlex", "Ours", "#k-plexes")
+		for _, q := range cs.qs {
+			var times []time.Duration
+			var count int64 = -1
+			for _, a := range three {
+				m, err := Run(g, a.Opts(cs.k, q))
+				if err != nil {
+					return fmt.Errorf("figure14 %s k=%d q=%d %s: %w", cs.ds.Name, cs.k, q, a.Name, err)
+				}
+				if count == -1 {
+					count = m.Count
+				} else if m.Count != count {
+					return fmt.Errorf("figure14 %s k=%d q=%d: count mismatch", cs.ds.Name, cs.k, q)
+				}
+				times = append(times, m.Elapsed)
+			}
+			c.printf("%4d %10s %10s %10s %12d\n", q,
+				FormatDuration(times[0]), FormatDuration(times[1]), FormatDuration(times[2]), count)
+		}
+	}
+	return nil
+}
+
+// Figure15 prints the appendix Basic-vs-Ours q sweep (paper Appendix B.4,
+// Figure 15) on the Figure 14 datasets.
+func (c *Config) Figure15() error {
+	c.printf("Figure 15 — Basic vs Ours, appendix datasets (sec)\n")
+	for _, cs := range c.figure14Cases() {
+		g := cs.ds.Build()
+		c.printf("# %s (k=%d)\n", cs.ds.Name, cs.k)
+		c.printf("%4s %10s %10s\n", "q", "Basic", "Ours")
+		for _, q := range cs.qs {
+			mb, err := Run(g, kplex.BasicOptions(cs.k, q))
+			if err != nil {
+				return err
+			}
+			mo, err := Run(g, kplex.NewOptions(cs.k, q))
+			if err != nil {
+				return err
+			}
+			if mb.Count != mo.Count {
+				return fmt.Errorf("figure15 %s k=%d q=%d: count mismatch %d vs %d",
+					cs.ds.Name, cs.k, q, mb.Count, mo.Count)
+			}
+			c.printf("%4d %10s %10s\n", q, FormatDuration(mb.Elapsed), FormatDuration(mo.Elapsed))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kplex"
+)
+
+// TestGoldenCounts pins the exact result counts of the cheap suite cells.
+// The numbers were produced by the full harness run and are cross-validated
+// by the oracle-equality tests in internal/kplex; their job here is to
+// catch regressions in any pruning rule or in a generator's determinism
+// (these counts change if a single edge moves).
+func TestGoldenCounts(t *testing.T) {
+	cases := []struct {
+		dataset string
+		k, q    int
+		want    int64
+	}{
+		{"jazz-syn", 2, 6, 50},
+		{"jazz-syn", 4, 9, 12},
+		{"lastfm-syn", 2, 8, 2429},
+		{"lastfm-syn", 3, 10, 11567},
+		{"as-caida-syn", 2, 8, 9714},
+		{"email-syn", 2, 8, 16548},
+		{"dblp-syn", 2, 10, 2214},
+		{"dblp-syn", 3, 8, 120},
+		{"dblp-syn", 4, 10, 120},
+		{"amazon-syn", 2, 4, 8301},
+		{"amazon-syn", 3, 6, 860},
+		{"amazon-syn", 4, 8, 39},
+		{"pokec-syn", 2, 6, 3028},
+		{"pokec-syn", 3, 8, 9289},
+	}
+	gcache := map[string]*graph.Graph{}
+	for _, c := range cases {
+		if gcache[c.dataset] == nil {
+			d, ok := ByName(c.dataset)
+			if !ok {
+				t.Fatalf("dataset %s missing", c.dataset)
+			}
+			gcache[c.dataset] = d.Build()
+		}
+	}
+	for _, c := range cases {
+		m, err := Run(gcache[c.dataset], kplex.NewOptions(c.k, c.q))
+		if err != nil {
+			t.Fatalf("%s k=%d q=%d: %v", c.dataset, c.k, c.q, err)
+		}
+		if m.Count != c.want {
+			t.Errorf("%s k=%d q=%d: count = %d, want %d",
+				c.dataset, c.k, c.q, m.Count, c.want)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package bitset provides a dense, fixed-capacity bitset used as the
+// adjacency-row representation for seed subgraphs. Seed subgraphs G_i are
+// small (|V_i| is bounded by the degeneracy-based analysis in the paper) and
+// dense, so a flat []uint64 per vertex gives O(|V_i|/64) set algebra, which
+// is what the paper's "adjacency matrix" representation of G_i amounts to.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset. The zero value is an empty set with
+// capacity 0; use New to create one with room for n bits. Bits at positions
+// >= the capacity passed to New must not be set.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty set with capacity for bits [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity in bits (not the number of set bits; see Count).
+func (s *Set) Len() int { return s.n }
+
+// Words exposes the backing words for read-only iteration by hot loops.
+func (s *Set) Words() []uint64 { return s.words }
+
+// Add sets bit i.
+func (s *Set) Add(i int) { s.words[i>>6] |= 1 << uint(i&63) }
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) { s.words[i>>6] &^= 1 << uint(i&63) }
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool { return s.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all bits.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets all bits in [0, Len()).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim clears the unused high bits of the last word so Count and Empty stay
+// correct after Fill/FlipAll.
+func (s *Set) trim() {
+	if r := uint(s.n & 63); r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << r) - 1
+	}
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// Copy overwrites s with src. The two sets must have equal capacity.
+func (s *Set) Copy(src *Set) {
+	if s.n != src.n {
+		panic("bitset: Copy capacity mismatch")
+	}
+	copy(s.words, src.words)
+}
+
+// And sets s = s ∩ t.
+func (s *Set) And(t *Set) {
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// Or sets s = s ∪ t.
+func (s *Set) Or(t *Set) {
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// AndNot sets s = s − t.
+func (s *Set) AndNot(t *Set) {
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// IntersectionCount returns |s ∩ t| without allocating.
+func (s *Set) IntersectionCount(t *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// IntersectionCountPrefix returns |s ∩ t| counting only the first w words
+// (bits 0..64w-1). Callers that know all relevant bits live in a prefix of
+// the domain (e.g. candidate-space bits in a seed graph) use this to skip
+// the guaranteed-empty tail.
+func (s *Set) IntersectionCountPrefix(t *Set, w int) int {
+	if w > len(s.words) {
+		w = len(s.words)
+	}
+	c := 0
+	for i := 0; i < w; i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// IsSubsetPrefix reports whether s ⊆ t considering only the first w words.
+func (s *Set) IsSubsetPrefix(t *Set, w int) bool {
+	if w > len(s.words) {
+		w = len(s.words)
+	}
+	for i := 0; i < w; i++ {
+		if s.words[i]&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s *Set) Intersects(t *Set) bool {
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DifferenceCount returns |s − t|.
+func (s *Set) DifferenceCount(t *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w &^ t.words[i])
+	}
+	return c
+}
+
+// IsSubset reports whether s ⊆ t.
+func (s *Set) IsSubset(t *Set) bool {
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Next returns the smallest set bit >= i, or -1 if none exists.
+func (s *Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i >> 6
+	w := s.words[wi] >> uint(i&63)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi<<6 + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls f for every set bit in ascending order. Iteration uses the
+// words directly and is safe against f mutating bits at or before the
+// current position.
+func (s *Set) ForEach(f func(i int)) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			f(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Any returns an arbitrary set bit (the smallest), or -1 if the set is empty.
+func (s *Set) Any() int { return s.Next(0) }
+
+// AppendTo appends the positions of all set bits to dst and returns it.
+func (s *Set) AppendTo(dst []int) []int {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Slice returns the set bits as a fresh sorted slice.
+func (s *Set) Slice() []int { return s.AppendTo(make([]int, 0, s.Count())) }
+
+// String renders the set as {a, b, c} for debugging and test failure output.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// AndCountInto stores s ∩ t into dst (which must have the same capacity) and
+// returns the size of the intersection. It fuses Copy+And+Count for the hot
+// common-neighbour computations in seed-graph pruning.
+func AndCountInto(dst, s, t *Set) int {
+	c := 0
+	for i := range dst.words {
+		w := s.words[i] & t.words[i]
+		dst.words[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Arena allocates bitsets of one fixed capacity from contiguous backing
+// storage. Seed subgraph adjacency matrices use an arena so that a |V_i|×|V_i|
+// matrix is one allocation, improving cache locality during branching (the
+// property the paper's stage-based parallel layout is designed around).
+type Arena struct {
+	n     int
+	wpr   int // words per row
+	store []uint64
+}
+
+// NewArena returns an arena producing bitsets of capacity n, pre-sized for
+// rows row bitsets.
+func NewArena(n, rows int) *Arena {
+	wpr := (n + wordBits - 1) / wordBits
+	return &Arena{n: n, wpr: wpr, store: make([]uint64, 0, wpr*rows)}
+}
+
+// New returns a fresh empty bitset of the arena's capacity. Rows allocated
+// within the pre-sized capacity share one backing array; rows beyond it fall
+// back to individual allocations (earlier rows remain valid either way).
+func (a *Arena) New() *Set {
+	if len(a.store)+a.wpr > cap(a.store) {
+		return &Set{words: make([]uint64, a.wpr), n: a.n}
+	}
+	off := len(a.store)
+	a.store = a.store[: off+a.wpr : cap(a.store)]
+	return &Set{words: a.store[off : off+a.wpr : off+a.wpr], n: a.n}
+}

@@ -1,0 +1,130 @@
+package bitset
+
+import (
+	"strings"
+	"testing"
+)
+
+func setOf(n int, elems ...int) *Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+func TestString(t *testing.T) {
+	s := setOf(70, 0, 3, 68)
+	got := s.String()
+	for _, want := range []string{"0", "3", "68"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %s", got, want)
+		}
+	}
+	if empty := New(10).String(); !strings.Contains(empty, "{") {
+		t.Errorf("empty String() = %q", empty)
+	}
+}
+
+func TestDifferenceCount(t *testing.T) {
+	a := setOf(100, 1, 2, 3, 64, 65)
+	b := setOf(100, 2, 64, 99)
+	if got := a.DifferenceCount(b); got != 3 {
+		t.Errorf("DifferenceCount = %d, want 3 (elements 1, 3, 65)", got)
+	}
+	if got := b.DifferenceCount(a); got != 1 {
+		t.Errorf("reverse DifferenceCount = %d, want 1 (element 99)", got)
+	}
+}
+
+func TestIntersectsAndSubset(t *testing.T) {
+	a := setOf(130, 5, 100)
+	b := setOf(130, 100)
+	c := setOf(130, 6, 7)
+	if !a.Intersects(b) || a.Intersects(c) {
+		t.Error("Intersects wrong")
+	}
+	if !b.IsSubset(a) || a.IsSubset(b) {
+		t.Error("IsSubset wrong")
+	}
+	if !New(130).IsSubset(a) {
+		t.Error("empty set must be a subset of anything")
+	}
+}
+
+func TestSliceAndWords(t *testing.T) {
+	a := setOf(200, 0, 63, 64, 199)
+	got := a.Slice()
+	want := []int{0, 63, 64, 199}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Slice[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if len(a.Words()) != (200+63)/64 {
+		t.Errorf("Words() has %d words, want %d", len(a.Words()), (200+63)/64)
+	}
+	if a.Len() != 200 {
+		t.Errorf("Len = %d, want 200", a.Len())
+	}
+}
+
+func TestEqualSets(t *testing.T) {
+	a := setOf(80, 1, 70)
+	b := setOf(80, 1, 70)
+	if !a.Equal(b) {
+		t.Error("identical sets not Equal")
+	}
+	b.Add(2)
+	if a.Equal(b) {
+		t.Error("different sets Equal")
+	}
+}
+
+func TestAnyOnEmpty(t *testing.T) {
+	if got := New(64).Any(); got != -1 {
+		t.Errorf("Any on empty = %d, want -1", got)
+	}
+	if got := setOf(64, 63).Any(); got != 63 {
+		t.Errorf("Any = %d, want 63", got)
+	}
+}
+
+func TestIsSubsetPrefixBoundary(t *testing.T) {
+	// Bits beyond the prefix must be ignored.
+	a := setOf(128, 2, 100) // 100 lives in word 1, outside prefix 1
+	b := setOf(128, 2)
+	if !a.IsSubsetPrefix(b, 1) {
+		t.Error("prefix subset should ignore bits past the prefix")
+	}
+	if a.IsSubset(b) {
+		t.Error("full subset should see bit 100")
+	}
+}
+
+func TestIntersectionCountPrefixBoundary(t *testing.T) {
+	a := setOf(128, 1, 2, 100)
+	b := setOf(128, 2, 100)
+	if got := a.IntersectionCountPrefix(b, 1); got != 1 {
+		t.Errorf("prefix intersection = %d, want 1", got)
+	}
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Errorf("full intersection = %d, want 2", got)
+	}
+}
+
+func TestAppendToReusesDst(t *testing.T) {
+	s := setOf(64, 3, 5)
+	buf := make([]int, 0, 8)
+	out := s.AppendTo(buf)
+	if len(out) != 2 || out[0] != 3 || out[1] != 5 {
+		t.Errorf("AppendTo = %v", out)
+	}
+	out2 := s.AppendTo(out)
+	if len(out2) != 4 {
+		t.Errorf("AppendTo should append, got %v", out2)
+	}
+}

@@ -1,0 +1,275 @@
+// Package gen provides deterministic synthetic graph generators used as
+// stand-ins for the paper's SNAP/LAW datasets (which are not redistributable
+// and not reachable from this offline module). Each generator is seeded and
+// reproducible, and the suite in internal/bench composes them into named
+// datasets whose degree/core structure mirrors the paper's Table 2 at a
+// laptop-friendly scale.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// GNP returns an Erdős–Rényi graph G(n, p) generated with the geometric
+// skipping method (O(n + m) expected time).
+func GNP(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var b graph.Builder
+	if p <= 0 || n < 2 {
+		g, _ := b.Build(n)
+		return g
+	}
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+		g, _ := b.Build(n)
+		return g
+	}
+	logQ := math.Log(1 - p)
+	// Iterate over the strict upper triangle with geometric jumps.
+	v, w := 1, -1
+	for v < n {
+		w += 1 + int(math.Log(1-rng.Float64())/logQ)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdge(v, w)
+		}
+	}
+	g, err := b.Build(n)
+	if err != nil {
+		panic("gen: gnp: " + err.Error())
+	}
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from a
+// clique on m+1 vertices, each new vertex attaches to m existing vertices
+// chosen proportionally to degree. Produces the heavy-tailed degree
+// distributions characteristic of the paper's web and social graphs.
+func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var b graph.Builder
+	b.Grow(n * m)
+	// repeated holds every edge endpoint twice; uniform sampling from it is
+	// degree-proportional sampling.
+	repeated := make([]int, 0, 2*n*m)
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddEdge(u, v)
+			repeated = append(repeated, u, v)
+		}
+	}
+	targets := make(map[int]struct{}, m)
+	targetList := make([]int, 0, m)
+	for v := m + 1; v < n; v++ {
+		for k := range targets {
+			delete(targets, k)
+		}
+		for len(targets) < m {
+			t := repeated[rng.Intn(len(repeated))]
+			if _, dup := targets[t]; !dup {
+				targets[t] = struct{}{}
+				targetList = append(targetList, t)
+			}
+		}
+		// targetList preserves draw order: iterating the map here would
+		// make the edge set depend on Go's randomised map order.
+		for _, t := range targetList {
+			b.AddEdge(v, t)
+			repeated = append(repeated, v, t)
+		}
+		targetList = targetList[:0]
+	}
+	g, err := b.Build(n)
+	if err != nil {
+		panic("gen: ba: " + err.Error())
+	}
+	return g
+}
+
+// ChungLu returns a power-law random graph with expected degree sequence
+// w_i ∝ (i+1)^(-1/(gamma-1)) scaled so the expected average degree is
+// avgDeg. gamma is typically in (2, 3]; smaller gamma gives heavier tails
+// (higher Δ relative to n), matching the paper's social-network datasets.
+func ChungLu(n int, avgDeg, gamma float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	if n < 2 {
+		g, _ := (&graph.Builder{}).Build(n)
+		return g
+	}
+	alpha := 1 / (gamma - 1)
+	w := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		w[i] = math.Pow(float64(i+1), -alpha)
+		sum += w[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	S := 0.0
+	for i := range w {
+		w[i] *= scale
+		S += w[i]
+	}
+	var b graph.Builder
+	// Chung-Lu via the Miller–Hagberg style approach: for each u walk v with
+	// geometric skips under the upper bound p̄ = w_u*w_v_max/S, then accept
+	// with p/p̄. Weights are non-increasing in the index, so the bound uses
+	// v's predecessor weight.
+	for u := 0; u < n-1; u++ {
+		v := u + 1
+		p := math.Min(w[u]*w[v]/S, 1)
+		for v < n && p > 0 {
+			if p < 1 {
+				v += int(math.Log(1-rng.Float64()) / math.Log(1-p))
+			}
+			if v < n {
+				q := math.Min(w[u]*w[v]/S, 1)
+				if rng.Float64() < q/p {
+					b.AddEdge(u, v)
+				}
+				p = q
+				v++
+			}
+		}
+	}
+	g, err := b.Build(n)
+	if err != nil {
+		panic("gen: chunglu: " + err.Error())
+	}
+	return g
+}
+
+// RMAT returns a recursive-matrix graph with 2^scale vertices and
+// approximately edgeFactor*2^scale edges, using the standard (a, b, c, d)
+// partition probabilities. RMAT graphs exhibit the skewed community-like
+// structure of the paper's web crawls.
+func RMAT(scale, edgeFactor int, a, b, c float64, seed int64) *graph.Graph {
+	n := 1 << uint(scale)
+	rng := rand.New(rand.NewSource(seed))
+	var bld graph.Builder
+	bld.Grow(edgeFactor * n)
+	for e := 0; e < edgeFactor*n; e++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: nothing to add
+			case r < a+b:
+				v |= 1 << uint(bit)
+			case r < a+b+c:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		bld.AddEdge(u, v)
+	}
+	g, err := bld.Build(n)
+	if err != nil {
+		panic("gen: rmat: " + err.Error())
+	}
+	return g
+}
+
+// PlantedConfig describes a graph with dense planted communities on top of a
+// sparse background, the workload that guarantees large maximal k-plexes
+// exist (the "community detection" use case in the paper's introduction).
+type PlantedConfig struct {
+	N           int     // total vertices
+	BackgroundP float64 // ER background edge probability
+	Communities int     // number of planted communities
+	CommSize    int     // vertices per community
+	DropPerV    int     // edges dropped per community vertex (≤ k-1 keeps it a k-plex)
+	Overlap     int     // vertices shared between consecutive communities
+	Seed        int64
+}
+
+// Planted generates the configured graph. Each community is a clique of
+// CommSize vertices minus a DropPerV-regular set of missing edges, so every
+// community is a (DropPerV+1)-plex of size CommSize by construction.
+func Planted(cfg PlantedConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var b graph.Builder
+	bg := GNP(cfg.N, cfg.BackgroundP, cfg.Seed+1)
+	for _, e := range bg.Edges() {
+		b.AddEdge(int(e.U), int(e.V))
+	}
+	step := cfg.CommSize - cfg.Overlap
+	if step < 1 {
+		step = 1
+	}
+	for c := 0; c < cfg.Communities; c++ {
+		base := (c * step) % max(1, cfg.N-cfg.CommSize)
+		members := make([]int, cfg.CommSize)
+		for i := range members {
+			members[i] = base + i
+		}
+		addCommunity(&b, members, cfg.DropPerV, rng)
+	}
+	g, err := b.Build(cfg.N)
+	if err != nil {
+		panic("gen: planted: " + err.Error())
+	}
+	return g
+}
+
+// addCommunity inserts a near-clique on members: a full clique minus a
+// perfect-matching-style set of dropped edges where each vertex loses at
+// most dropPerV incident edges.
+func addCommunity(b *graph.Builder, members []int, dropPerV int, rng *rand.Rand) {
+	s := len(members)
+	dropped := make(map[[2]int]bool)
+	if dropPerV > 0 && s >= 4 {
+		budget := make([]int, s)
+		// Drop random disjoint-ish pairs while respecting each endpoint's
+		// budget; this keeps the community a (dropPerV+1)-plex.
+		attempts := dropPerV * s
+		for t := 0; t < attempts; t++ {
+			i, j := rng.Intn(s), rng.Intn(s)
+			if i == j || budget[i] >= dropPerV || budget[j] >= dropPerV {
+				continue
+			}
+			if i > j {
+				i, j = j, i
+			}
+			key := [2]int{i, j}
+			if dropped[key] {
+				continue
+			}
+			dropped[key] = true
+			budget[i]++
+			budget[j]++
+		}
+	}
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			if !dropped[[2]int{i, j}] {
+				b.AddEdge(members[i], members[j])
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

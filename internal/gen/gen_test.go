@@ -1,0 +1,162 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGNPDeterministicAndSane(t *testing.T) {
+	a := GNP(200, 0.1, 42)
+	b := GNP(200, 0.1, 42)
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	c := GNP(200, 0.1, 43)
+	if a.M() == 0 || c.M() == 0 {
+		t.Fatal("GNP produced empty graph at p=0.1")
+	}
+	// Expected m = p*n*(n-1)/2 = 1990; allow generous slack.
+	if a.M() < 1500 || a.M() > 2500 {
+		t.Fatalf("GNP m = %d, far from expectation 1990", a.M())
+	}
+}
+
+func TestGNPEdgeCases(t *testing.T) {
+	if g := GNP(10, 0, 1); g.M() != 0 {
+		t.Fatal("p=0 must give no edges")
+	}
+	if g := GNP(6, 1, 1); g.M() != 15 {
+		t.Fatalf("p=1 must give complete graph, got m=%d", g.M())
+	}
+	if g := GNP(0, 0.5, 1); g.N() != 0 {
+		t.Fatal("n=0 must give empty graph")
+	}
+	if g := GNP(1, 0.5, 1); g.N() != 1 || g.M() != 0 {
+		t.Fatal("n=1 must give single vertex")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 4, 7)
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Each of the n-m-1 late vertices adds m edges plus the seed clique.
+	wantMin := (500 - 5) * 4
+	if g.M() < wantMin {
+		t.Fatalf("M = %d < %d", g.M(), wantMin)
+	}
+	// Preferential attachment must produce a hub much above the mean.
+	if g.MaxDegree() < 3*4 {
+		t.Fatalf("max degree %d suspiciously small", g.MaxDegree())
+	}
+	// Determinism of the exact edge set, not just the edge count: an
+	// earlier version iterated a map when attaching targets, which made
+	// the graph differ between runs of the same binary.
+	g2 := BarabasiAlbert(500, 4, 7)
+	ea, eb := g.Edges(), g2.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("not deterministic (edge count)")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("not deterministic (edge %d: %v vs %v)", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestChungLu(t *testing.T) {
+	g := ChungLu(1000, 10, 2.5, 3)
+	if g.N() != 1000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if avg < 5 || avg > 20 {
+		t.Fatalf("average degree %.1f far from target 10", avg)
+	}
+	// Heavy tail: max degree well above average.
+	if float64(g.MaxDegree()) < 3*avg {
+		t.Fatalf("max degree %d not heavy-tailed (avg %.1f)", g.MaxDegree(), avg)
+	}
+	if ChungLu(1000, 10, 2.5, 3).M() != g.M() {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(10, 8, 0.57, 0.19, 0.19, 11)
+	if g.N() != 1024 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() == 0 {
+		t.Fatal("no edges")
+	}
+	if RMAT(10, 8, 0.57, 0.19, 0.19, 11).M() != g.M() {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestPlantedCommunitiesAreKPlexes(t *testing.T) {
+	cfg := PlantedConfig{
+		N: 400, BackgroundP: 0.01, Communities: 5, CommSize: 20,
+		DropPerV: 2, Overlap: 0, Seed: 21,
+	}
+	g := Planted(cfg)
+	// Every planted community must be a (DropPerV+1)-plex: each member
+	// misses at most DropPerV community edges plus itself.
+	k := cfg.DropPerV + 1
+	step := cfg.CommSize - cfg.Overlap
+	for c := 0; c < cfg.Communities; c++ {
+		base := (c * step) % (cfg.N - cfg.CommSize)
+		members := make(map[int]bool, cfg.CommSize)
+		for i := 0; i < cfg.CommSize; i++ {
+			members[base+i] = true
+		}
+		for m := range members {
+			d := 0
+			for _, u := range g.Neighbors(m) {
+				if members[int(u)] {
+					d++
+				}
+			}
+			if d < cfg.CommSize-k {
+				t.Fatalf("community %d member %d has %d internal edges, need >= %d",
+					c, m, d, cfg.CommSize-k)
+			}
+		}
+	}
+}
+
+func TestPlantedDeterministic(t *testing.T) {
+	cfg := PlantedConfig{N: 200, BackgroundP: 0.02, Communities: 3, CommSize: 12, DropPerV: 1, Seed: 5}
+	if Planted(cfg).M() != Planted(cfg).M() {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestGeneratorsProduceSimpleGraphs(t *testing.T) {
+	graphs := []*graph.Graph{
+		GNP(100, 0.2, 1),
+		BarabasiAlbert(100, 3, 2),
+		ChungLu(100, 8, 2.3, 3),
+		RMAT(7, 6, 0.5, 0.2, 0.2, 4),
+		Planted(PlantedConfig{N: 100, BackgroundP: 0.05, Communities: 2, CommSize: 10, DropPerV: 1, Seed: 6}),
+	}
+	for gi, g := range graphs {
+		for v := 0; v < g.N(); v++ {
+			nb := g.Neighbors(v)
+			for i, u := range nb {
+				if int(u) == v {
+					t.Fatalf("graph %d: self-loop at %d", gi, v)
+				}
+				if i > 0 && nb[i-1] >= u {
+					t.Fatalf("graph %d: adjacency of %d not strictly sorted", gi, v)
+				}
+				if !g.HasEdge(int(u), v) {
+					t.Fatalf("graph %d: edge (%d,%d) not symmetric", gi, v, u)
+				}
+			}
+		}
+	}
+}

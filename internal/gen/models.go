@@ -1,0 +1,202 @@
+package gen
+
+// Additional generator models. The stochastic block model gives controllable
+// community structure (sharper than Planted: k-plexes are not guaranteed,
+// only density contrast), Watts-Strogatz gives high clustering with short
+// paths (protein-interaction-like), and random regular graphs provide the
+// degenerate workload where degree-based pruning is useless — a stress case
+// for the pivot and pair rules.
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// SBMConfig parameterises a stochastic block model.
+type SBMConfig struct {
+	// BlockSizes lists the community sizes; the graph has sum(BlockSizes)
+	// vertices, assigned to blocks in index order.
+	BlockSizes []int
+	// PIn is the within-block edge probability.
+	PIn float64
+	// POut is the cross-block edge probability.
+	POut float64
+	Seed int64
+}
+
+// SBM generates a stochastic block model graph.
+func SBM(cfg SBMConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := 0
+	block := make([]int, 0)
+	for bi, s := range cfg.BlockSizes {
+		for i := 0; i < s; i++ {
+			block = append(block, bi)
+		}
+		n += s
+	}
+	var b graph.Builder
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := cfg.POut
+			if block[u] == block[v] {
+				p = cfg.PIn
+			}
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g, err := b.Build(n)
+	if err != nil {
+		panic("gen: sbm: " + err.Error())
+	}
+	return g
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where every
+// vertex is joined to its k nearest neighbours (k rounded down to even),
+// with each edge rewired to a random endpoint with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed int64) *graph.Graph {
+	if n < 3 {
+		g, _ := new(graph.Builder).Build(n)
+		return g
+	}
+	half := k / 2
+	if half < 1 {
+		half = 1
+	}
+	if half >= n/2 {
+		half = (n - 1) / 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Track the current edge set so rewiring avoids duplicates.
+	type edge struct{ u, v int }
+	has := make(map[edge]bool, n*half)
+	norm := func(u, v int) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+	edges := make([]edge, 0, n*half)
+	for u := 0; u < n; u++ {
+		for d := 1; d <= half; d++ {
+			e := norm(u, (u+d)%n)
+			if !has[e] {
+				has[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	for i, e := range edges {
+		if rng.Float64() >= beta {
+			continue
+		}
+		// Rewire the far endpoint to a uniform non-neighbour of e.u.
+		for attempt := 0; attempt < 16; attempt++ {
+			w := rng.Intn(n)
+			if w == e.u {
+				continue
+			}
+			ne := norm(e.u, w)
+			if has[ne] {
+				continue
+			}
+			delete(has, e)
+			has[ne] = true
+			edges[i] = ne
+			break
+		}
+	}
+	var b graph.Builder
+	b.Grow(len(edges))
+	for _, e := range edges {
+		b.AddEdge(e.u, e.v)
+	}
+	g, err := b.Build(n)
+	if err != nil {
+		panic("gen: ws: " + err.Error())
+	}
+	return g
+}
+
+// RandomRegular returns a d-regular graph on n vertices via the pairing
+// model with restarts (n*d must be even; panics otherwise). For the small
+// d, n used in tests and benches a valid pairing is found quickly.
+func RandomRegular(n, d int, seed int64) *graph.Graph {
+	if n*d%2 != 0 {
+		panic("gen: regular: n*d must be even")
+	}
+	if d >= n {
+		panic("gen: regular: need d < n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stubs := make([]int, 0, n*d)
+	for restart := 0; ; restart++ {
+		stubs = stubs[:0]
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		type edge struct{ u, v int }
+		seen := make(map[edge]bool, n*d/2)
+		ok := true
+		var b graph.Builder
+		b.Grow(n * d / 2)
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				ok = false
+				break
+			}
+			if u > v {
+				u, v = v, u
+			}
+			e := edge{u, v}
+			if seen[e] {
+				ok = false
+				break
+			}
+			seen[e] = true
+			b.AddEdge(u, v)
+		}
+		if !ok {
+			if restart > 10000 {
+				panic("gen: regular: pairing model failed to converge")
+			}
+			continue
+		}
+		g, err := b.Build(n)
+		if err != nil {
+			panic("gen: regular: " + err.Error())
+		}
+		return g
+	}
+}
+
+// NoisyPlex returns a single k-plex "community" graph for tests: a clique
+// on n vertices from which each vertex loses at most k-1 incident edges,
+// so the whole vertex set is one k-plex (and, being edge-maximal among
+// k-plexes on those vertices, a maximal one when embedded alone).
+func NoisyPlex(n, k int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var b graph.Builder
+	addCommunity(&b, identity(n), k-1, rng)
+	g, err := b.Build(n)
+	if err != nil {
+		panic("gen: noisyplex: " + err.Error())
+	}
+	return g
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// Every generator must emit a simple graph: sorted adjacency, no
+// self-loops, no duplicates, symmetric. The Builder enforces this, so the
+// property pins that no generator bypasses it.
+func simple(g *graph.Graph) bool {
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		for i, u := range nb {
+			if int(u) == v {
+				return false
+			}
+			if i > 0 && nb[i-1] >= u {
+				return false
+			}
+			if !g.HasEdge(int(u), v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestQuickGeneratorsAreSimpleAndDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+
+		builds := []func() *graph.Graph{
+			func() *graph.Graph { return GNP(n, 0.1+0.3*rng.Float64(), seed) },
+			func() *graph.Graph { return BarabasiAlbert(n, 1+rng.Intn(4), seed) },
+			func() *graph.Graph { return ChungLu(n, 4+6*rng.Float64(), 2.1+rng.Float64(), seed) },
+			func() *graph.Graph { return WattsStrogatz(n, 4, rng.Float64(), seed) },
+			func() *graph.Graph {
+				return SBM(SBMConfig{BlockSizes: []int{n / 2, n - n/2}, PIn: 0.3, POut: 0.05, Seed: seed})
+			},
+		}
+		for _, build := range builds {
+			a := build()
+			if !simple(a) {
+				return false
+			}
+		}
+		// Determinism: same seed, same graph.
+		a := GNP(n, 0.25, seed)
+		b := GNP(n, 0.25, seed)
+		if a.M() != b.M() {
+			return false
+		}
+		for v := 0; v < a.N(); v++ {
+			na, nb := a.Neighbors(v), b.Neighbors(v)
+			if len(na) != len(nb) {
+				return false
+			}
+			for i := range na {
+				if na[i] != nb[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Planted communities must actually contain their k-plexes: every planted
+// block forms a (DropPerV+1)-plex.
+func TestQuickPlantedContainsPlexes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		drop := rng.Intn(3)
+		size := 8 + rng.Intn(6)
+		cfg := PlantedConfig{
+			N: 200, BackgroundP: 0.01, Communities: 4, CommSize: size,
+			DropPerV: drop, Overlap: 0, Seed: seed,
+		}
+		g := Planted(cfg)
+		k := drop + 1
+		// First community occupies vertices [0, size).
+		for u := 0; u < size; u++ {
+			inDeg := 0
+			for _, w := range g.Neighbors(u) {
+				if int(w) < size {
+					inDeg++
+				}
+			}
+			if inDeg < size-k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

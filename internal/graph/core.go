@@ -1,0 +1,138 @@
+package graph
+
+// This file implements the linear-time peeling machinery the paper relies
+// on: core decomposition (coreness of every vertex), the degeneracy ordering
+// η used to seed search tasks (Algorithm 2 line 2), and the (q-k)-core
+// reduction of Theorem 3.5.
+
+// CoreDecomposition holds the result of the O(n+m) peeling algorithm
+// (Batagelj & Zaversnik). Order lists vertices in degeneracy order η:
+// vertices are removed smallest-current-degree first, ties broken by vertex
+// id so that η is deterministic (the paper orders within-shell vertices by
+// input id for the same reason).
+type CoreDecomposition struct {
+	Coreness   []int32 // coreness (max k such that v is in a k-core)
+	Order      []int32 // degeneracy ordering η
+	Pos        []int32 // Pos[v] = index of v in Order
+	Degeneracy int     // D = max coreness
+}
+
+// Cores computes the core decomposition of g by bucket peeling.
+func Cores(g *Graph) *CoreDecomposition {
+	n := g.N()
+	cd := &CoreDecomposition{
+		Coreness: make([]int32, n),
+		Order:    make([]int32, n),
+		Pos:      make([]int32, n),
+	}
+	if n == 0 {
+		return cd
+	}
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// bin[d] = start index of bucket d within vert.
+	bin := make([]int32, maxDeg+2)
+	for _, d := range deg {
+		bin[d+1]++
+	}
+	for d := int32(1); d <= maxDeg+1; d++ {
+		bin[d] += bin[d-1]
+	}
+	vert := make([]int32, n) // vertices sorted by current degree
+	pos := make([]int32, n)  // position of vertex in vert
+	fill := make([]int32, maxDeg+1)
+	copy(fill, bin[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		pos[v] = fill[deg[v]]
+		vert[pos[v]] = int32(v)
+		fill[deg[v]]++
+	}
+	// vert within each bucket is in ascending vertex id already because we
+	// inserted v in increasing order; peeling therefore breaks ties by id.
+	cur := int32(0) // running coreness
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		if deg[v] > cur {
+			cur = deg[v]
+		}
+		cd.Coreness[v] = cur
+		cd.Order[i] = v
+		cd.Pos[v] = int32(i)
+		for _, u := range g.Neighbors(int(v)) {
+			if deg[u] <= deg[v] {
+				continue // already peeled or in the current bucket floor
+			}
+			// Move u one bucket down: swap it with the first vertex of its
+			// bucket and advance that bucket's start.
+			du, pu := deg[u], pos[u]
+			pw := bin[du]
+			w := vert[pw]
+			if u != w {
+				vert[pu], vert[pw] = w, u
+				pos[u], pos[w] = pw, pu
+			}
+			bin[du]++
+			deg[u]--
+		}
+	}
+	cd.Degeneracy = int(cur)
+	return cd
+}
+
+// Degeneracy returns D, the degeneracy of g.
+func Degeneracy(g *Graph) int { return Cores(g).Degeneracy }
+
+// KCore returns the subgraph induced by vertices of coreness >= k, together
+// with the mapping from new ids to original ids. Theorem 3.5: every k-plex
+// with at least q vertices is contained in the (q-k)-core, so the enumerator
+// calls KCore(g, q-k) before doing anything else.
+func KCore(g *Graph, k int) (sub *Graph, origID []int32) {
+	if k <= 0 {
+		ids := make([]int32, g.N())
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		return g, ids
+	}
+	cd := Cores(g)
+	keep := make([]int, 0, g.N())
+	for v := 0; v < g.N(); v++ {
+		if int(cd.Coreness[v]) >= k {
+			keep = append(keep, v)
+		}
+	}
+	return g.InducedSubgraph(keep)
+}
+
+// DegeneracyOrderedCopy relabels g so that vertex i is the i-th vertex of
+// the degeneracy ordering. The enumerator works on this copy: "later than
+// v_i in η" then becomes the simple comparison u > i. origID maps new ids
+// back to g's ids.
+func DegeneracyOrderedCopy(g *Graph) (relabeled *Graph, origID []int32) {
+	cd := Cores(g)
+	n := g.N()
+	origID = make([]int32, n)
+	copy(origID, cd.Order)
+	var b Builder
+	b.Grow(g.M())
+	for newU := 0; newU < n; newU++ {
+		oldU := cd.Order[newU]
+		for _, oldV := range g.Neighbors(int(oldU)) {
+			newV := cd.Pos[oldV]
+			if int32(newU) < newV {
+				b.AddEdge(newU, int(newV))
+			}
+		}
+	}
+	relabeled, err := b.Build(n)
+	if err != nil {
+		panic("graph: degeneracy relabel: " + err.Error())
+	}
+	return relabeled, origID
+}

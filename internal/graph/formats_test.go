@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func randomGraph(t *testing.T, n int, p float64, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var b Builder
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g, err := b.Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := 0; v < a.N(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := randomGraph(t, 30, 0.2, 1)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Error("DIMACS round trip changed the graph")
+	}
+}
+
+func TestDIMACSParsesComments(t *testing.T) {
+	in := "c a comment\np edge 4 3\ne 1 2\ne 2 3\nn 1 5\ne 3 4\n"
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Errorf("got n=%d m=%d, want 4, 3", g.N(), g.M())
+	}
+}
+
+func TestDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"edge before p":  "e 1 2\n",
+		"bad count":      "p edge x 3\n",
+		"short p":        "p edge\n",
+		"out of range":   "p edge 3 1\ne 1 9\n",
+		"unknown record": "p edge 3 1\nz 1 2\n",
+		"dup p":          "p edge 3 1\np edge 3 1\n",
+		"no p":           "c only comments\n",
+		"bad endpoints":  "p edge 3 1\ne a b\n",
+		"short e":        "p edge 3 1\ne 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestMETISRoundTrip(t *testing.T) {
+	g := randomGraph(t, 25, 0.25, 2)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Error("METIS round trip changed the graph")
+	}
+}
+
+func TestMETISIsolatedVertices(t *testing.T) {
+	// Vertex 2 (1-based 3) is isolated: its adjacency line is blank.
+	in := "4 1\n2\n1\n\n\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 1 {
+		t.Fatalf("got n=%d m=%d, want 4, 1", g.N(), g.M())
+	}
+	if g.Degree(2) != 0 || g.Degree(3) != 0 {
+		t.Error("vertices 2,3 should be isolated")
+	}
+}
+
+func TestMETISErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":     "",
+		"short header":  "5\n",
+		"bad counts":    "x y\n",
+		"weighted":      "3 2 011\n2\n1 3\n2\n",
+		"missing lines": "3 2\n2\n",
+		"out of range":  "2 1\n5\n\n",
+		"bad neighbour": "2 1\nfoo\n\n",
+		"edge mismatch": "3 5\n2\n1\n\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	g := randomGraph(t, 20, 0.3, 3)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Error("MatrixMarket round trip changed the graph")
+	}
+}
+
+func TestMatrixMarketDropsDiagonalAndWeights(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real symmetric\n" +
+		"% a comment\n3 3 3\n1 1 5.0\n2 1 1.5\n3 2 2.5\n"
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("got n=%d m=%d, want 3, 2", g.N(), g.M())
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad banner":  "%%NotMM matrix coordinate\n1 1 0\n",
+		"dense":       "%%MatrixMarket matrix array real general\n2 2\n",
+		"rectangular": "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n",
+		"short entry": "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n1\n",
+		"range":       "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n9 1\n",
+		"undercount":  "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 5\n2 1\n",
+		"bad size":    "%%MatrixMarket matrix coordinate pattern symmetric\nx y z\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := []struct {
+		head string
+		want Format
+	}{
+		{"%%MatrixMarket matrix coordinate", FormatMatrixMarket},
+		{"p edge 5 4\n", FormatDIMACS},
+		{"c comment\np edge 1 0\n", FormatDIMACS},
+		{"0 1\n1 2\n", FormatEdgeList},
+		{"", FormatUnknown},
+	}
+	for _, c := range cases {
+		if got := DetectFormat([]byte(c.head)); got != c.want {
+			t.Errorf("DetectFormat(%q) = %v, want %v", c.head, got, c.want)
+		}
+	}
+	if got := DetectFormat(binaryMagic[:]); got != FormatBinary {
+		t.Errorf("DetectFormat(magic) = %v, want binary", got)
+	}
+}
+
+func TestFormatFileRoundTrips(t *testing.T) {
+	g := randomGraph(t, 15, 0.3, 4)
+	dir := t.TempDir()
+	for _, f := range []Format{FormatEdgeList, FormatDIMACS, FormatMETIS, FormatMatrixMarket, FormatBinary} {
+		path := filepath.Join(dir, "g."+f.String())
+		if err := WriteFormatFile(path, g, f); err != nil {
+			t.Fatalf("%v: write: %v", f, err)
+		}
+		got, err := ReadFormatFile(path, f)
+		if err != nil {
+			t.Fatalf("%v: read: %v", f, err)
+		}
+		if !graphsEqual(g, got) {
+			t.Errorf("%v: round trip changed the graph", f)
+		}
+		// Auto-detection (METIS excluded: headerless numeric files are
+		// indistinguishable from edge lists).
+		if f == FormatMETIS {
+			continue
+		}
+		got, err = ReadFormatFile(path, FormatUnknown)
+		if err != nil {
+			t.Fatalf("%v: autodetect read: %v", f, err)
+		}
+		if !graphsEqual(g, got) {
+			t.Errorf("%v: autodetect round trip changed the graph", f)
+		}
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	names := map[Format]string{
+		FormatUnknown: "unknown", FormatEdgeList: "edgelist", FormatDIMACS: "dimacs",
+		FormatMETIS: "metis", FormatMatrixMarket: "matrixmarket", FormatBinary: "binary",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("Format(%d).String() = %q, want %q", int(f), f.String(), want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickGraph builds a random graph from a seed, shared by the property
+// tests below.
+func quickGraph(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(60)
+	p := rng.Float64() * 0.4
+	var b Builder
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g, err := b.Build(n)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Coreness is sandwiched between 0 and degree, the degeneracy equals the
+// max coreness, and every vertex of the k-core has at least k neighbours
+// inside the k-core — the defining property Theorem 3.5 relies on.
+func TestQuickCoreInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		g := quickGraph(seed)
+		cd := Cores(g)
+		maxCore := 0
+		for v := 0; v < g.N(); v++ {
+			c := int(cd.Coreness[v])
+			if c < 0 || c > g.Degree(v) {
+				return false
+			}
+			if c > maxCore {
+				maxCore = c
+			}
+		}
+		if maxCore != cd.Degeneracy {
+			return false
+		}
+		k := cd.Degeneracy
+		sub, orig := KCore(g, k)
+		for v := 0; v < sub.N(); v++ {
+			if sub.Degree(v) < k {
+				return false
+			}
+			_ = orig[v]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The degeneracy ordering property: each vertex has at most D neighbours
+// later in η. This is what bounds |C| ≤ D in the paper's complexity
+// analysis (Lemma 5.9).
+func TestQuickDegeneracyOrderBound(t *testing.T) {
+	f := func(seed int64) bool {
+		g := quickGraph(seed)
+		cd := Cores(g)
+		for v := 0; v < g.N(); v++ {
+			later := 0
+			for _, u := range g.Neighbors(v) {
+				if cd.Pos[u] > cd.Pos[v] {
+					later++
+				}
+			}
+			if later > cd.Degeneracy {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// All four text formats round-trip arbitrary graphs (edge lists lose
+// isolated vertices, so compare the non-isolated structure there).
+func TestQuickFormatRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		g := quickGraph(seed)
+		var buf bytes.Buffer
+
+		buf.Reset()
+		if err := WriteDIMACS(&buf, g); err != nil {
+			return false
+		}
+		if got, err := ReadDIMACS(&buf); err != nil || !graphsEqual(g, got) {
+			return false
+		}
+
+		buf.Reset()
+		if err := WriteMETIS(&buf, g); err != nil {
+			return false
+		}
+		if got, err := ReadMETIS(&buf); err != nil || !graphsEqual(g, got) {
+			return false
+		}
+
+		buf.Reset()
+		if err := WriteMatrixMarket(&buf, g); err != nil {
+			return false
+		}
+		if got, err := ReadMatrixMarket(&buf); err != nil || !graphsEqual(g, got) {
+			return false
+		}
+
+		buf.Reset()
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		return err == nil && graphsEqual(g, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Triangle counts computed by the forward algorithm equal the brute-force
+// count, and the handshake identity holds: sum of per-vertex counts is
+// 3 * total.
+func TestQuickTriangleIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		g := quickGraph(seed % 1000) // keep n small for the cubic check
+		counts := TriangleCounts(g)
+		var sum int64
+		for _, c := range counts {
+			sum += c
+		}
+		total := Triangles(g)
+		if sum != 3*total {
+			return false
+		}
+		return total == naiveTriangles(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BFS distances satisfy the triangle inequality across an edge: adjacent
+// vertices' distances from any source differ by at most 1.
+func TestQuickBFSLipschitz(t *testing.T) {
+	f := func(seed int64) bool {
+		g := quickGraph(seed)
+		if g.N() == 0 {
+			return true
+		}
+		src := int(uint64(seed) % uint64(g.N()))
+		dist := BFSDistances(g, src)
+		for v := 0; v < g.N(); v++ {
+			for _, u := range g.Neighbors(v) {
+				du, dv := dist[u], dist[v]
+				if (du < 0) != (dv < 0) {
+					return false // same component by definition of BFS
+				}
+				if du >= 0 && (du-dv > 1 || dv-du > 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

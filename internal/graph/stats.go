@@ -1,0 +1,35 @@
+package graph
+
+import "fmt"
+
+// Stats summarises a graph the way the paper's Table 2 does: vertex and edge
+// counts, maximum degree Δ and degeneracy D.
+type Stats struct {
+	N          int
+	M          int
+	MaxDegree  int
+	Degeneracy int
+}
+
+// ComputeStats returns the Table-2 statistics for g.
+func ComputeStats(g *Graph) Stats {
+	return Stats{
+		N:          g.N(),
+		M:          g.M(),
+		MaxDegree:  g.MaxDegree(),
+		Degeneracy: Degeneracy(g),
+	}
+}
+
+// String formats the stats as a single table row.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d Δ=%d D=%d", s.N, s.M, s.MaxDegree, s.Degeneracy)
+}
+
+// AverageDegree returns 2m/n, or 0 for an empty graph.
+func (s Stats) AverageDegree() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return 2 * float64(s.M) / float64(s.N)
+}

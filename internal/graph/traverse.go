@@ -1,0 +1,85 @@
+package graph
+
+// Traversal utilities: connected components and induced-subgraph diameter.
+// The enumerator itself never needs them (the diameter-2 property is used
+// structurally, not checked), but the test suite verifies the paper's
+// Theorem 3.3 on real output with them, and the community example reports
+// component structure.
+
+// ConnectedComponents returns a component id per vertex and the number of
+// components. Ids are assigned in order of the smallest vertex in each
+// component.
+func ConnectedComponents(g *Graph) (comp []int32, count int) {
+	n := g.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	for v := 0; v < n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[v] = id
+		queue = append(queue[:0], int32(v))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(int(u)) {
+				if comp[w] == -1 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// InducedDiameter returns the diameter (longest shortest path, in hops) of
+// the subgraph of g induced by set, or -1 if that subgraph is disconnected
+// or empty. Runs one BFS per member: fine for the plex-sized sets it is
+// meant for.
+func InducedDiameter(g *Graph, set []int) int {
+	if len(set) == 0 {
+		return -1
+	}
+	in := make(map[int]int, len(set)) // vertex -> local index
+	for i, v := range set {
+		in[v] = i
+	}
+	diam := 0
+	dist := make([]int, len(set))
+	queue := make([]int, 0, len(set))
+	for _, src := range set {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[in[src]] = 0
+		queue = append(queue[:0], src)
+		seen := 1
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			du := dist[in[u]]
+			for _, w := range g.Neighbors(u) {
+				j, ok := in[int(w)]
+				if !ok || dist[j] != -1 {
+					continue
+				}
+				dist[j] = du + 1
+				seen++
+				if dist[j] > diam {
+					diam = dist[j]
+				}
+				queue = append(queue, int(w))
+			}
+		}
+		if seen != len(set) {
+			return -1 // disconnected
+		}
+	}
+	return diam
+}

@@ -1,0 +1,50 @@
+package graph
+
+import "testing"
+
+func TestConnectedComponents(t *testing.T) {
+	// Two triangles and an isolated vertex.
+	g := mustBuild(t, 7, [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}})
+	comp, count := ConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("first triangle split across components")
+	}
+	if comp[3] != comp[4] || comp[4] != comp[5] {
+		t.Fatal("second triangle split across components")
+	}
+	if comp[0] == comp[3] || comp[6] == comp[0] || comp[6] == comp[3] {
+		t.Fatal("distinct components merged")
+	}
+}
+
+func TestConnectedComponentsEmpty(t *testing.T) {
+	g := mustBuild(t, 0, nil)
+	if _, count := ConnectedComponents(g); count != 0 {
+		t.Fatalf("count = %d, want 0", count)
+	}
+}
+
+func TestInducedDiameter(t *testing.T) {
+	// Path 0-1-2-3-4 plus chord 0-2.
+	g := mustBuild(t, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 2}})
+	cases := []struct {
+		set  []int
+		want int
+	}{
+		{[]int{0}, 0},
+		{[]int{0, 1}, 1},
+		{[]int{0, 1, 2}, 1},       // triangle
+		{[]int{0, 1, 2, 3}, 2},    // 3 is two hops from 0/1
+		{[]int{0, 1, 2, 3, 4}, 3}, // 4 is three hops from 0 via 2-3
+		{[]int{0, 3}, -1},         // disconnected inside the induced graph
+		{nil, -1},
+	}
+	for _, c := range cases {
+		if got := InducedDiameter(g, c.set); got != c.want {
+			t.Errorf("InducedDiameter(%v) = %d, want %d", c.set, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package kplex
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// boundScratch holds the reusable buffers for Algorithm 4. Each worker owns
+// one, resized lazily to the current seed graph. None of the buffers
+// survive across Branch recursion levels.
+type boundScratch struct {
+	sup     []int // sup_P(u) working copy, indexed by local vertex id
+	pMem    []int // members of P as a slice
+	tmp     *bitset.Set
+	sortBuf []sortCand
+}
+
+type sortCand struct {
+	v       int
+	nonNbrs int
+}
+
+func (bs *boundScratch) resize(nAll int) {
+	if len(bs.sup) < nAll {
+		bs.sup = make([]int, nAll)
+		bs.tmp = bitset.New(nAll)
+	}
+}
+
+// supportBound implements Algorithm 4: the Theorem 5.5 upper bound on the
+// size of any k-plex containing P ∪ {vp}, where vp ∈ C. degP must hold
+// |N(v) ∩ P| for every v ∈ P ∪ C. If vpIsSeedTask is true, the Theorem 5.7
+// specialisation is applied (vp is the task's seed vertex, already in P,
+// with sup(vp) forced to 0 and K computed over all of C).
+func (bs *boundScratch) supportBound(sg *seedGraph, k, sizeP int, P, C *bitset.Set, degP []int, vp int, vpIsSeedTask bool) int {
+	bs.resize(sg.nAll)
+	bs.pMem = bs.pMem[:0]
+	P.ForEach(func(u int) {
+		bs.sup[u] = k - (sizeP - degP[u]) // d̄_P(u) counts u itself
+		bs.pMem = append(bs.pMem, u)
+	})
+
+	var supVp int
+	if vpIsSeedTask {
+		supVp = 0
+	} else {
+		// vp ∉ P: d̄_P(vp) = |P| - d_P(vp) does not count vp itself.
+		supVp = k - (sizeP - degP[vp])
+	}
+
+	// K is counted over N_C(vp) (Theorem 5.5) or all of C (Theorem 5.7,
+	// where C = N(v_i) contains only neighbours of vp = v_i anyway).
+	kCount := 0
+	nc := bs.tmp
+	nc.Copy(C)
+	if !vpIsSeedTask {
+		nc.And(sg.adj[vp])
+	}
+	nc.ForEach(func(w int) {
+		// u_m = argmin sup over w's non-neighbours in P.
+		um, umSup := -1, 0
+		aw := sg.adj[w]
+		for _, u := range bs.pMem {
+			if aw.Contains(u) {
+				continue
+			}
+			if um == -1 || bs.sup[u] < umSup {
+				um, umSup = u, bs.sup[u]
+			}
+		}
+		if um == -1 {
+			// No non-neighbour in P constrains w.
+			kCount++
+			return
+		}
+		if umSup > 0 {
+			bs.sup[um]--
+			kCount++
+		}
+	})
+	return sizeP + supVp + kCount
+}
+
+// supportBoundSorted is the FP-style variant used by the Ours\ub+fp
+// ablation: identical accounting, but candidates are first sorted by their
+// non-neighbour count in P, paying the O(|C| log |C|) sort that the paper
+// identifies as the weakness of FP's bound. The sorted order can only
+// tighten the greedy charge assignment, so the result remains a valid
+// upper bound.
+func (bs *boundScratch) supportBoundSorted(sg *seedGraph, k, sizeP int, P, C *bitset.Set, degP []int, vp int) int {
+	bs.resize(sg.nAll)
+	bs.pMem = bs.pMem[:0]
+	P.ForEach(func(u int) {
+		bs.sup[u] = k - (sizeP - degP[u])
+		bs.pMem = append(bs.pMem, u)
+	})
+	supVp := k - (sizeP - degP[vp])
+
+	bs.sortBuf = bs.sortBuf[:0]
+	nc := bs.tmp
+	nc.Copy(C)
+	nc.And(sg.adj[vp])
+	nc.ForEach(func(w int) {
+		bs.sortBuf = append(bs.sortBuf, sortCand{w, sizeP - degP[w]})
+	})
+	sort.Slice(bs.sortBuf, func(i, j int) bool {
+		if bs.sortBuf[i].nonNbrs != bs.sortBuf[j].nonNbrs {
+			return bs.sortBuf[i].nonNbrs < bs.sortBuf[j].nonNbrs
+		}
+		return bs.sortBuf[i].v < bs.sortBuf[j].v
+	})
+
+	kCount := 0
+	for _, cand := range bs.sortBuf {
+		aw := sg.adj[cand.v]
+		um, umSup := -1, 0
+		for _, u := range bs.pMem {
+			if aw.Contains(u) {
+				continue
+			}
+			if um == -1 || bs.sup[u] < umSup {
+				um, umSup = u, bs.sup[u]
+			}
+		}
+		if um == -1 {
+			kCount++
+			continue
+		}
+		if umSup > 0 {
+			bs.sup[um]--
+			kCount++
+		}
+	}
+	return sizeP + supVp + kCount
+}
+
+// subtaskBound implements rule R1 (Theorem 5.7): an upper bound on the size
+// of any k-plex extending the initial sub-task P_S = {v_i} ∪ S with
+// candidate set C ⊆ N(v_i). degP must cover P ∪ C. The returned bound is
+// min(|P_S| + |K|, min_{v∈P_S} d_{G_i}(v) + k).
+func (bs *boundScratch) subtaskBound(sg *seedGraph, k, sizeP int, P, C *bitset.Set, degP []int) int {
+	ub := bs.supportBound(sg, k, sizeP, P, C, degP, 0, true)
+	minDeg := -1
+	P.ForEach(func(u int) {
+		if minDeg == -1 || sg.degGi[u] < minDeg {
+			minDeg = sg.degGi[u]
+		}
+	})
+	if minDeg >= 0 && minDeg+k < ub {
+		ub = minDeg + k
+	}
+	return ub
+}

@@ -1,0 +1,379 @@
+package kplex
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bitset"
+)
+
+// task is one unit of branch-and-bound work: mine the set-enumeration
+// subtree rooted at P, with candidate set C and exclusive set X, inside the
+// shared seed subgraph sg. Tasks are what the parallel engine queues,
+// steals, and what the timeout mechanism materialises.
+type task struct {
+	sg    *seedGraph
+	P     *bitset.Set
+	C     *bitset.Set
+	X     *bitset.Set
+	sizeP int
+}
+
+// worker holds the per-thread scratch state. All buffers are sized to the
+// current seed graph and are only valid within a single Branch invocation
+// (recursive calls reuse them after the parent is done reading).
+type worker struct {
+	id  int
+	eng *engine
+
+	stats Stats
+
+	// Scratch, sized to the current seed graph's nAll.
+	scratchN int
+	degP     []int
+	degPC    []int
+	sat      *bitset.Set
+	pc       *bitset.Set
+	satPC    *bitset.Set
+	bs       boundScratch
+	cs       colorScratch
+	plexBuf  []int
+
+	taskStart  time.Time
+	splitting  bool // timeout splitting enabled for the current run
+	branchTick int  // cancellation poll counter
+}
+
+func (w *worker) prepare(sg *seedGraph) {
+	if w.scratchN == sg.nAll && w.sat != nil && w.sat.Len() == sg.nAll {
+		return
+	}
+	n := sg.nAll
+	w.scratchN = n
+	w.degP = make([]int, n)
+	w.degPC = make([]int, n)
+	w.sat = bitset.New(n)
+	w.pc = bitset.New(n)
+	w.satPC = bitset.New(n)
+	w.bs = boundScratch{}
+	w.bs.resize(n)
+}
+
+// runTask executes one task to completion (or until the timeout mechanism
+// re-queues its remaining branches).
+func (w *worker) runTask(t *task) {
+	w.prepare(t.sg)
+	w.stats.Tasks++
+	w.taskStart = time.Now()
+	w.branch(t.sg, t.P, t.C, t.X, t.sizeP)
+}
+
+// recurse either descends into the child branch directly or, when the
+// current task has exceeded τ_time, materialises it as a new task so that
+// idle workers can steal it (Section 6's straggler elimination).
+func (w *worker) recurse(sg *seedGraph, P, C, X *bitset.Set, sizeP int) {
+	if w.splitting && time.Since(w.taskStart) > w.eng.opts.TaskTimeout {
+		w.stats.Splits++
+		w.eng.pushTask(w, &task{sg: sg, P: P, C: C, X: X, sizeP: sizeP})
+		return
+	}
+	w.branch(sg, P, C, X, sizeP)
+}
+
+// branch is Algorithm 3. The exclude branch (line 20) is executed as a loop
+// iteration rather than a recursive call: it reuses this frame's P, C and X,
+// which the include branch never does (it gets clones).
+func (w *worker) branch(sg *seedGraph, P, C, X *bitset.Set, sizeP int) {
+	opts := &w.eng.opts
+	k, q := opts.K, opts.Q
+	adj := sg.adj
+
+	for {
+		w.stats.Branches++
+		w.branchTick++
+		if w.branchTick&1023 == 0 && w.eng.cancelled() {
+			return
+		}
+
+		// --- Lines 2-3: refine C and X to vertices v with P ∪ {v} a
+		// k-plex: d_P(v) >= |P|+1-k and v adjacent to every saturated
+		// member of P. Also detect an invalid P (possible after the
+		// multi-vertex additions of the FaPlexen branching).
+		// All P, C and P∪C bits live in the candidate-space prefix, so the
+		// heavy set operations are limited to its words.
+		pw := sg.pWords
+		w.sat.Clear()
+		validP := true
+		P.ForEach(func(u int) {
+			d := adj[u].IntersectionCountPrefix(P, pw)
+			w.degP[u] = d
+			switch {
+			case d < sizeP-k:
+				validP = false
+			case d == sizeP-k:
+				w.sat.Add(u)
+			}
+		})
+		if !validP {
+			return
+		}
+		minNeed := sizeP + 1 - k
+		C.ForEach(func(v int) {
+			d := adj[v].IntersectionCountPrefix(P, pw)
+			if d < minNeed || !w.sat.IsSubsetPrefix(adj[v], pw) {
+				C.Remove(v)
+				return
+			}
+			w.degP[v] = d
+		})
+		X.ForEach(func(v int) {
+			d := adj[v].IntersectionCountPrefix(P, pw)
+			if d < minNeed || !w.sat.IsSubsetPrefix(adj[v], pw) {
+				X.Remove(v)
+			}
+		})
+
+		// --- Lines 4-6: leaf.
+		sizeC := C.Count()
+		if sizeC == 0 {
+			if sizeP >= q && X.Empty() {
+				w.emit(sg, P)
+			}
+			return
+		}
+
+		// --- Lines 7-10: pivot selection over P ∪ C. M0 = min degree in
+		// G[P∪C]; M = max d̄_P within M0; prefer a pivot from P.
+		w.pc.Copy(P)
+		w.pc.Or(C)
+		sizePC := sizeP + sizeC
+		minDeg := sizePC
+		w.pc.ForEach(func(v int) {
+			d := adj[v].IntersectionCountPrefix(w.pc, pw)
+			w.degPC[v] = d
+			if d < minDeg {
+				minDeg = d
+			}
+		})
+		vp0, vp0InP, bestNon := -1, false, -1
+		w.pc.ForEach(func(v int) {
+			if w.degPC[v] != minDeg {
+				return
+			}
+			inP := P.Contains(v)
+			non := sizeP - w.degP[v]
+			// M = argmax d̄_P within M0 (line 8); within M prefer P
+			// members (line 9); remaining ties go to the smallest id.
+			if vp0 == -1 || non > bestNon || (non == bestNon && inP && !vp0InP) {
+				vp0, vp0InP, bestNon = v, inP, non
+			}
+		})
+
+		// --- Lines 11-14: if even the minimum-degree vertex meets the
+		// k-plex threshold, P ∪ C is a k-plex; emit it if maximal and big
+		// enough, then stop.
+		if minDeg >= sizePC-k {
+			w.stats.Collapses++
+			w.maybeEmitCollapse(sg, X, sizePC, q)
+			return
+		}
+
+		// --- Lines 15-16 / the Ours_P variant.
+		vp := vp0
+		if vp0InP {
+			if opts.Branching == BranchFaPlexen {
+				w.branchFaPlexen(sg, P, C, X, sizeP, vp0)
+				return
+			}
+			w.stats.Repicks++
+			vp = w.repick(sg, C, P, sizeP, vp0)
+		}
+
+		// --- Lines 17-19: include branch, guarded by the Eq (3) bound.
+		include := true
+		switch opts.UpperBound {
+		case UBOurs:
+			ub := w.bs.supportBound(sg, k, sizeP, P, C, w.degP, vp, false)
+			if d := w.degPC[vp0] + k; d < ub {
+				ub = d
+			}
+			include = ub >= q
+		case UBSortFP:
+			ub := w.bs.supportBoundSorted(sg, k, sizeP, P, C, w.degP, vp)
+			if d := w.degPC[vp0] + k; d < ub {
+				ub = d
+			}
+			include = ub >= q
+		case UBColor:
+			ub := w.cs.colorBound(sg, k, sizeP, C, vp)
+			if d := w.degPC[vp0] + k; d < ub {
+				ub = d
+			}
+			include = ub >= q
+		}
+		if include {
+			newP := P.Clone()
+			newP.Add(vp)
+			newC := C.Clone()
+			newC.Remove(vp)
+			newX := X.Clone()
+			w.applyPair(sg, newC, newX, vp)
+			w.recurse(sg, newP, newC, newX, sizeP+1)
+		} else {
+			w.stats.UBPruned++
+		}
+
+		// --- Line 20: exclude branch, continued in this frame.
+		C.Remove(vp)
+		X.Add(vp)
+	}
+}
+
+// repick implements Algorithm 3 line 16: choose a new pivot among the C
+// non-neighbours of the P-pivot vp0, using the same (min degree in G[P∪C],
+// then max d̄_P) rules. The set is non-empty whenever the collapse check of
+// line 11 failed, but we fall back to an arbitrary candidate defensively.
+func (w *worker) repick(sg *seedGraph, C, P *bitset.Set, sizeP, vp0 int) int {
+	best, bestDeg, bestNon := -1, 0, -1
+	avp := sg.adj[vp0]
+	C.ForEach(func(v int) {
+		if avp.Contains(v) {
+			return
+		}
+		d := w.degPC[v]
+		non := sizeP - w.degP[v]
+		if best == -1 || d < bestDeg || (d == bestDeg && non > bestNon) {
+			best, bestDeg, bestNon = v, d, non
+		}
+	})
+	if best == -1 {
+		best = C.Any()
+	}
+	return best
+}
+
+// applyPair intersects C and X with the pair-compatibility row of a vertex
+// that just joined P (rule R2, Theorems 5.13-5.15). V'-range bits in the
+// row are always set, so X-only vertices are unaffected.
+func (w *worker) applyPair(sg *seedGraph, C, X *bitset.Set, added int) {
+	if sg.pair == nil || added >= sg.nv {
+		return
+	}
+	row := sg.pair[added]
+	C.And(row)
+	X.And(row)
+}
+
+// maybeEmitCollapse handles Algorithm 3 lines 12-13: P ∪ C (stored in w.pc
+// with degrees in w.degPC) is a k-plex; emit it when it is maximal against
+// X and has at least q vertices.
+func (w *worker) maybeEmitCollapse(sg *seedGraph, X *bitset.Set, sizePC, q int) {
+	if sizePC < q {
+		return
+	}
+	k := w.eng.opts.K
+	pw := sg.pWords
+	w.satPC.Clear()
+	w.pc.ForEach(func(u int) {
+		if w.degPC[u] == sizePC-k {
+			w.satPC.Add(u)
+		}
+	})
+	need := sizePC + 1 - k
+	extendable := false
+	X.ForEach(func(x int) {
+		if extendable {
+			return
+		}
+		ax := sg.adj[x]
+		if ax.IntersectionCountPrefix(w.pc, pw) >= need && w.satPC.IsSubsetPrefix(ax, pw) {
+			extendable = true
+		}
+	})
+	if !extendable {
+		w.emit(sg, w.pc)
+	}
+}
+
+// branchFaPlexen implements the Ours_P variant: when the pivot vp lies in
+// P, branch over its C non-neighbours W = {w_1 < w_2 < ... < w_l} with the
+// s+1 disjoint branches of Eq (4)-(6), where s = sup_P(vp). Branch i
+// includes w_1..w_{i-1} and excludes w_i; the final branch includes
+// w_1..w_s and discards the rest of W (their budgets are exhausted, so the
+// child's refinement would drop them; they are parked in X for safety).
+func (w *worker) branchFaPlexen(sg *seedGraph, P, C, X *bitset.Set, sizeP, vp int) {
+	k := w.eng.opts.K
+	s := k - (sizeP - w.degP[vp]) // sup_P(vp) >= 1 here (see below)
+	// wl must be a private copy: the recursive calls below reuse the
+	// worker's scratch buffer.
+	wl := make([]int, 0, 8)
+	avp := sg.adj[vp]
+	C.ForEach(func(v int) {
+		if !avp.Contains(v) {
+			wl = append(wl, v)
+		}
+	})
+	// The collapse check failed, so vp has more than k non-neighbours in
+	// P∪C; since P is a k-plex, at least s+1 of them are in C: len(wl) > s.
+	// A saturated vp (s == 0) cannot reach here because refinement removed
+	// all of its C non-neighbours. Guard anyway.
+	if s < 0 {
+		s = 0
+	}
+	if s >= len(wl) {
+		s = len(wl) - 1
+	}
+	if len(wl) == 0 {
+		return
+	}
+
+	// Branch i = 1..s: include w_1..w_{i-1}, exclude w_i.
+	for i := 1; i <= s; i++ {
+		newP := P.Clone()
+		newC := C.Clone()
+		newX := X.Clone()
+		for j := 0; j < i-1; j++ {
+			newP.Add(wl[j])
+			newC.Remove(wl[j])
+			w.applyPair(sg, newC, newX, wl[j])
+		}
+		newC.Remove(wl[i-1])
+		newX.Add(wl[i-1])
+		w.recurse(sg, newP, newC, newX, sizeP+i-1)
+	}
+	// Final branch: include w_1..w_s, drop w_{s+1}..w_l. Reuses the
+	// caller's sets (tail position).
+	for j := 0; j < s; j++ {
+		P.Add(wl[j])
+		C.Remove(wl[j])
+		w.applyPair(sg, C, X, wl[j])
+	}
+	for j := s; j < len(wl); j++ {
+		C.Remove(wl[j])
+		X.Add(wl[j])
+	}
+	w.recurse(sg, P, C, X, sizeP+s)
+}
+
+// emit reports a maximal k-plex. P holds local ids; they are translated
+// through the seed graph's mapping and the engine's relabel/core mappings
+// back to the caller's vertex ids.
+func (w *worker) emit(sg *seedGraph, P *bitset.Set) {
+	w.stats.Emitted++
+	if size := int64(P.Count()); size > w.stats.MaxPlexSize {
+		w.stats.MaxPlexSize = size
+	}
+	if w.eng.opts.FirstOnly {
+		defer w.eng.stop.Store(true)
+	}
+	cb := w.eng.opts.OnPlex
+	if cb == nil {
+		return
+	}
+	w.plexBuf = w.plexBuf[:0]
+	P.ForEach(func(v int) {
+		w.plexBuf = append(w.plexBuf, int(w.eng.toInput[sg.orig[v]]))
+	})
+	sort.Ints(w.plexBuf)
+	cb(w.plexBuf)
+}

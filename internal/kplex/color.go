@@ -1,0 +1,75 @@
+package kplex
+
+// Coloring-based upper bound, the natural extension from the related work
+// the paper reviews (Maplex, Zhou et al. AAAI 2021; refined by RGB). A
+// greedy proper coloring of G[C] partitions the candidates into independent
+// sets; a k-plex T containing P can take at most k vertices from each
+// independent set I, because every u ∈ I ∩ T is non-adjacent to the other
+// |I ∩ T| - 1 members and to itself, forcing d̄_T(u) >= |I ∩ T| <= k.
+// The bound is therefore |P ∪ {v_p}| + Σ_classes min(|class|, k).
+//
+// Compared with the paper's Theorem 5.5 bound it inspects pairwise
+// structure among candidates rather than their support in P, so it can be
+// tighter on candidate sets with large independent parts — at the cost of
+// an O(|C|²/64) coloring per recursion, which is the trade-off the Table 5
+// extension rows quantify.
+
+import "repro/internal/bitset"
+
+// colorScratch holds reusable buffers for the greedy coloring.
+type colorScratch struct {
+	colorOf   []int // color assigned to a candidate in the current call
+	stamp     []int // stamp[c] == epoch marks color c forbidden
+	classSize []int
+	colored   *bitset.Set
+	epoch     int
+}
+
+func (cs *colorScratch) resize(nAll int) {
+	if len(cs.colorOf) < nAll {
+		cs.colorOf = make([]int, nAll)
+		cs.stamp = make([]int, nAll+1)
+		cs.colored = bitset.New(nAll)
+	}
+}
+
+// colorBound returns the coloring upper bound on the size of any k-plex
+// containing P ∪ {vp}, coloring the candidates C − {vp}.
+func (cs *colorScratch) colorBound(sg *seedGraph, k, sizeP int, C *bitset.Set, vp int) int {
+	cs.resize(sg.nAll)
+	cs.classSize = cs.classSize[:0]
+	colored := cs.colored
+	colored.Clear()
+
+	C.ForEach(func(w int) {
+		if w == vp {
+			return
+		}
+		cs.epoch++
+		aw := sg.adj[w]
+		colored.ForEach(func(u int) {
+			if aw.Contains(u) {
+				cs.stamp[cs.colorOf[u]] = cs.epoch
+			}
+		})
+		c := 0
+		for c < len(cs.classSize) && cs.stamp[c] == cs.epoch {
+			c++
+		}
+		if c == len(cs.classSize) {
+			cs.classSize = append(cs.classSize, 0)
+		}
+		cs.classSize[c]++
+		cs.colorOf[w] = c
+		colored.Add(w)
+	})
+
+	sum := 0
+	for _, s := range cs.classSize {
+		if s > k {
+			s = k
+		}
+		sum += s
+	}
+	return sizeP + 1 + sum
+}

@@ -1,0 +1,447 @@
+package kplex
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// engine drives one enumeration run over a (q-k)-core-reduced,
+// degeneracy-relabelled copy of the input graph.
+type engine struct {
+	opts    Options
+	g       *graph.Graph // relabelled working graph
+	toInput []int32      // relabelled id -> input graph id
+
+	queues  []*taskQueue
+	pending atomic.Int64 // tasks pushed but not yet finished
+	seeding atomic.Int64 // workers still generating tasks this stage
+	stop    atomic.Bool
+	buildMu sync.Mutex // used only with Options.SerializeSeedBuild
+}
+
+func (e *engine) cancelled() bool { return e.stop.Load() }
+
+// Run enumerates all maximal k-plexes of g with at least opts.Q vertices.
+// See Options for the knobs; the returned Result carries the count and the
+// search statistics. The context cancels the run early (the partial count
+// is returned along with ctx.Err()).
+func Run(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+
+	// Optional kPlexS-style second-order reduction (vertex id space is
+	// preserved, so the mappings below compose unchanged).
+	if opts.UseCTCP {
+		g = ReduceCTCP(g, opts.K, opts.Q)
+	}
+
+	// Theorem 3.5: restrict to the (q-k)-core, then relabel into
+	// degeneracy order so that "later in η" is a numeric comparison.
+	core, coreID := graph.KCore(g, opts.Q-opts.K)
+	relab, relID := graph.DegeneracyOrderedCopy(core)
+	toInput := make([]int32, relab.N())
+	for i := range toInput {
+		toInput[i] = coreID[relID[i]]
+	}
+
+	e := &engine{opts: opts, g: relab, toInput: toInput}
+	threads := opts.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > relab.N() && relab.N() > 0 {
+		threads = relab.N()
+	}
+	if threads < 1 {
+		threads = 1
+	}
+
+	var stats Stats
+	switch {
+	case threads == 1 && opts.TaskTimeout == 0:
+		stats = e.runSequential(ctx)
+	case opts.Scheduler == SchedulerGlobalQueue:
+		stats = e.runGlobalQueue(ctx, threads)
+	default:
+		stats = e.runParallel(ctx, threads)
+	}
+
+	res := Result{Count: stats.Emitted, Stats: stats, Elapsed: time.Since(start)}
+	if ctx != nil && ctx.Err() != nil {
+		return res, ctx.Err()
+	}
+	return res, nil
+}
+
+// runSequential processes every seed group in order on the calling
+// goroutine, executing tasks as they are generated.
+func (e *engine) runSequential(ctx context.Context) Stats {
+	w := &worker{eng: e}
+	done := watchContext(ctx, e)
+	defer done()
+	for s := 0; s < e.g.N(); s++ {
+		if e.cancelled() {
+			break
+		}
+		sg := buildSeedGraph(e.g, s, &e.opts)
+		if sg == nil {
+			continue
+		}
+		w.stats.Seeds++
+		e.generateTasks(w, sg, func(t *task) { w.runTask(t) })
+	}
+	return w.stats
+}
+
+// runParallel implements the Section 6 scheme: stages of M seeds, one per
+// worker; each worker fills its own queue with its seed's sub-tasks and
+// drains it LIFO, stealing FIFO from other queues once empty. The timeout
+// mechanism inside Branch feeds long-running tasks back into the owner's
+// queue where they become stealable.
+func (e *engine) runParallel(ctx context.Context, threads int) Stats {
+	done := watchContext(ctx, e)
+	defer done()
+
+	workers := make([]*worker, threads)
+	e.queues = make([]*taskQueue, threads)
+	for i := range workers {
+		workers[i] = &worker{id: i, eng: e, splitting: e.opts.TaskTimeout > 0}
+		e.queues[i] = &taskQueue{}
+	}
+
+	n := e.g.N()
+	var wg sync.WaitGroup
+	for stage := 0; stage*threads < n && !e.cancelled(); stage++ {
+		base := stage * threads
+		e.seeding.Store(int64(threads))
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(w *worker, seed int) {
+				defer wg.Done()
+				if seed < n && !e.cancelled() {
+					if e.opts.SerializeSeedBuild {
+						e.buildMu.Lock()
+					}
+					sg := buildSeedGraph(e.g, seed, &e.opts)
+					if e.opts.SerializeSeedBuild {
+						e.buildMu.Unlock()
+					}
+					if sg != nil {
+						w.stats.Seeds++
+						e.generateTasks(w, sg, func(t *task) {
+							e.pending.Add(1)
+							e.queues[w.id].push(t)
+						})
+					}
+				}
+				e.seeding.Add(-1)
+				e.drain(w)
+			}(workers[i], base+i)
+		}
+		wg.Wait()
+		// Stage barrier: all queues are empty here; the seed subgraphs of
+		// this stage become garbage, bounding memory as in the paper.
+	}
+
+	var total Stats
+	for _, w := range workers {
+		total.Add(w.stats)
+	}
+	return total
+}
+
+// drain processes tasks until the stage has no pending work left.
+func (e *engine) drain(w *worker) {
+	myQ := e.queues[w.id]
+	idleSpins := 0
+	for {
+		if e.cancelled() {
+			return
+		}
+		if t := myQ.popBack(); t != nil {
+			w.runTask(t)
+			e.pending.Add(-1)
+			idleSpins = 0
+			continue
+		}
+		// Steal FIFO from another queue (oldest tasks first: they are the
+		// roots of the largest remaining subtrees).
+		stolen := false
+		for off := 1; off < len(e.queues); off++ {
+			q := e.queues[(w.id+off)%len(e.queues)]
+			if t := q.popFront(); t != nil {
+				w.runTask(t)
+				e.pending.Add(-1)
+				stolen = true
+				break
+			}
+		}
+		if stolen {
+			idleSpins = 0
+			continue
+		}
+		if e.pending.Load() == 0 && e.seeding.Load() == 0 {
+			return
+		}
+		idleSpins++
+		if idleSpins > 64 {
+			time.Sleep(20 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// pushTask enqueues a timeout-split task on the worker's own queue (which
+// is the single shared queue under SchedulerGlobalQueue).
+func (e *engine) pushTask(w *worker, t *task) {
+	e.pending.Add(1)
+	e.queues[w.id].push(t)
+}
+
+// runGlobalQueue is the SchedulerGlobalQueue ablation: every worker pulls
+// seeds from one shared counter and tasks from one shared queue. There are
+// no stages and no thread-local queues, so each core keeps switching
+// between unrelated seed subgraphs — the locality cost the stage scheme
+// avoids — and all pushes and pops contend on one lock.
+func (e *engine) runGlobalQueue(ctx context.Context, threads int) Stats {
+	done := watchContext(ctx, e)
+	defer done()
+
+	global := &taskQueue{}
+	e.queues = []*taskQueue{global}
+	var nextSeed atomic.Int64
+	n := e.g.N()
+
+	workers := make([]*worker, threads)
+	var wg sync.WaitGroup
+	for i := range workers {
+		// Every worker targets queue 0, the shared queue.
+		workers[i] = &worker{id: 0, eng: e, splitting: e.opts.TaskTimeout > 0}
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			idleSpins := 0
+			for !e.cancelled() {
+				if t := global.popBack(); t != nil {
+					w.runTask(t)
+					e.pending.Add(-1)
+					idleSpins = 0
+					continue
+				}
+				s := int(nextSeed.Add(1)) - 1
+				if s < n {
+					if e.opts.SerializeSeedBuild {
+						e.buildMu.Lock()
+					}
+					sg := buildSeedGraph(e.g, s, &e.opts)
+					if e.opts.SerializeSeedBuild {
+						e.buildMu.Unlock()
+					}
+					if sg != nil {
+						w.stats.Seeds++
+						e.generateTasks(w, sg, func(t *task) {
+							e.pending.Add(1)
+							global.push(t)
+						})
+					}
+					idleSpins = 0
+					continue
+				}
+				if e.pending.Load() == 0 {
+					return
+				}
+				idleSpins++
+				if idleSpins > 64 {
+					time.Sleep(20 * time.Microsecond)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(workers[i])
+	}
+	wg.Wait()
+
+	var total Stats
+	for _, w := range workers {
+		total.Add(w.stats)
+	}
+	return total
+}
+
+// watchContext mirrors ctx cancellation into the engine's stop flag without
+// polluting the hot path with channel operations. The returned func must be
+// called to release the watcher goroutine.
+func watchContext(ctx context.Context, e *engine) (cleanup func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			e.stop.Store(true)
+		case <-stop:
+		}
+	}()
+	return func() { close(stop) }
+}
+
+// generateTasks performs Algorithm 2 lines 7-10 for one seed group: the
+// set-enumeration of S ⊆ N²_{G_i}(v_i) with |S| ≤ k-1, applying pair rule
+// R2 to the enumeration frontier (Theorem 5.13) and to C_S (Theorem 5.14),
+// and the sub-task bound R1 (Theorem 5.7).
+func (e *engine) generateTasks(w *worker, sg *seedGraph, emit func(*task)) {
+	k, q := e.opts.K, e.opts.Q
+	w.prepare(sg)
+
+	if e.opts.Partition == PartitionWhole2Hop {
+		// FP-style: a single task whose candidates are the whole later
+		// 2-hop neighbourhood; only earlier vertices are exclusive.
+		P0 := bitset.New(sg.nAll)
+		P0.Add(0)
+		C0 := sg.nbrSeed.Clone()
+		C0.Or(sg.hop2Set)
+		emit(&task{sg: sg, P: P0, C: C0, X: sg.xBase.Clone(), sizeP: 1})
+		return
+	}
+
+	// S = ∅ task.
+	P0 := bitset.New(sg.nAll)
+	P0.Add(0)
+	C0 := sg.nbrSeed.Clone()
+	X0 := sg.xBase.Clone()
+	X0.Or(sg.hop2Set)
+	emit(&task{sg: sg, P: P0, C: C0, X: X0, sizeP: 1})
+
+	if k < 2 || len(sg.hop2) == 0 {
+		return
+	}
+
+	// Recursive set-enumeration over the N² pool in ascending local id.
+	// state per level: S (local ids), CS (candidate set after R2), allowed
+	// (N² vertices that may still extend S, after R2).
+	var sBuf []int
+	var rec func(startIdx int, CS, allowed *bitset.Set)
+	rec = func(startIdx int, CS, allowed *bitset.Set) {
+		for idx := startIdx; idx < len(sg.hop2); idx++ {
+			u := sg.hop2[idx]
+			if !allowed.Contains(u) {
+				continue
+			}
+			// P_S ∪ {u} must itself be a k-plex (hereditary: otherwise the
+			// whole subtree is dead). d̄ within {v_i} ∪ S ∪ {u}: every
+			// member counts itself and v_i (non-adjacent to all of N²).
+			sBuf = append(sBuf, u)
+			if !validSeedSet(sg, sBuf, k) {
+				sBuf = sBuf[:len(sBuf)-1]
+				continue
+			}
+
+			CSu := CS.Clone()
+			allowedU := allowed.Clone()
+			if sg.pair != nil {
+				CSu.And(sg.pair[u])      // Theorem 5.14 via T
+				allowedU.And(sg.pair[u]) // Theorem 5.13 via T
+			}
+
+			P := bitset.New(sg.nAll)
+			P.Add(0)
+			for _, v := range sBuf {
+				P.Add(v)
+			}
+			sizeP := 1 + len(sBuf)
+
+			pruned := false
+			if e.opts.UseSubtaskBound {
+				// R1 needs d_P over P ∪ C; P is tiny, so compute directly.
+				degP := w.degP
+				P.ForEach(func(v int) { degP[v] = sg.adj[v].IntersectionCount(P) })
+				CSu.ForEach(func(v int) { degP[v] = sg.adj[v].IntersectionCount(P) })
+				if w.bs.subtaskBound(sg, k, sizeP, P, CSu, degP) < q {
+					w.stats.TasksPrunedR1++
+					pruned = true
+				}
+			}
+			if !pruned {
+				X := sg.xBase.Clone()
+				X.Or(sg.hop2Set)
+				for _, v := range sBuf {
+					X.Remove(v)
+				}
+				emit(&task{sg: sg, P: P, C: CSu.Clone(), X: X, sizeP: sizeP})
+			}
+
+			if len(sBuf) < k-1 {
+				rec(idx+1, CSu, allowedU)
+			}
+			sBuf = sBuf[:len(sBuf)-1]
+		}
+	}
+	rec(0, sg.nbrSeed.Clone(), sg.hop2Set.Clone())
+}
+
+// validSeedSet reports whether {v_i} ∪ S is a k-plex. Every member of S is
+// non-adjacent to v_i (it is 2 hops away), so v_i's deficiency is 1+|S| and
+// each s ∈ S starts at 2 (itself plus v_i) plus its non-neighbours in S.
+func validSeedSet(sg *seedGraph, S []int, k int) bool {
+	if 1+len(S) > k {
+		return false
+	}
+	for i, u := range S {
+		non := 2 // u itself and the seed
+		for j, v := range S {
+			if i != j && !sg.adj[u].Contains(v) {
+				non++
+			}
+		}
+		if non > k {
+			return false
+		}
+	}
+	return true
+}
+
+// taskQueue is a mutex-guarded deque. Owners pop from the back (LIFO keeps
+// the working set cache-hot); thieves pop from the front (FIFO hands over
+// the largest remaining subtrees).
+type taskQueue struct {
+	mu    sync.Mutex
+	tasks []*task
+}
+
+func (q *taskQueue) push(t *task) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, t)
+	q.mu.Unlock()
+}
+
+func (q *taskQueue) popBack() *task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return nil
+	}
+	t := q.tasks[len(q.tasks)-1]
+	q.tasks = q.tasks[:len(q.tasks)-1]
+	return t
+}
+
+func (q *taskQueue) popFront() *task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return nil
+	}
+	t := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	return t
+}

@@ -1,0 +1,5 @@
+package kplex_test
+
+import "time"
+
+func microseconds(n int) time.Duration { return time.Duration(n) * time.Microsecond }

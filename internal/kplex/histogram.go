@@ -1,0 +1,26 @@
+package kplex
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// SizeHistogram enumerates like Run and returns the distribution of
+// maximal k-plex sizes: hist[s] is the number of maximal k-plexes with
+// exactly s vertices. The histogram is how the evaluation datasets are
+// calibrated (a dataset whose plex sizes hug q exercises the bounds;
+// one with a long tail exercises the collapse shortcut). opts.OnPlex is
+// owned by SizeHistogram.
+func SizeHistogram(ctx context.Context, g *graph.Graph, opts Options) (map[int]int64, Result, error) {
+	hist := make(map[int]int64)
+	var mu sync.Mutex
+	opts.OnPlex = func(p []int) {
+		mu.Lock()
+		hist[len(p)]++
+		mu.Unlock()
+	}
+	res, err := Run(ctx, g, opts)
+	return hist, res, err
+}

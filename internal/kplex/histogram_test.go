@@ -1,0 +1,69 @@
+package kplex
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestSizeHistogramSumsToCount(t *testing.T) {
+	g := gen.Planted(gen.PlantedConfig{
+		N: 150, BackgroundP: 0.02, Communities: 8, CommSize: 11,
+		DropPerV: 1, Overlap: 2, Seed: 21,
+	})
+	hist, res, err := SizeHistogram(context.Background(), g, NewOptions(2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	maxSize := 0
+	for s, c := range hist {
+		if s < 6 {
+			t.Errorf("histogram bucket %d below q", s)
+		}
+		if c <= 0 {
+			t.Errorf("bucket %d has non-positive count %d", s, c)
+		}
+		sum += c
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	if sum != res.Count {
+		t.Errorf("histogram sums to %d, Count = %d", sum, res.Count)
+	}
+	if int64(maxSize) != res.Stats.MaxPlexSize {
+		t.Errorf("max bucket %d != Stats.MaxPlexSize %d", maxSize, res.Stats.MaxPlexSize)
+	}
+}
+
+func TestSizeHistogramParallelMatchesSequential(t *testing.T) {
+	g := gen.ChungLu(400, 14, 2.3, 22)
+	seqH, seqR, err := SizeHistogram(context.Background(), g, NewOptions(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := NewOptions(2, 8)
+	opts.Threads = 4
+	opts.TaskTimeout = 50000 // 50µs
+	parH, parR, err := SizeHistogram(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqR.Count != parR.Count || len(seqH) != len(parH) {
+		t.Fatalf("parallel/sequential disagree: %d vs %d plexes", parR.Count, seqR.Count)
+	}
+	for s, c := range seqH {
+		if parH[s] != c {
+			t.Errorf("size %d: %d (seq) vs %d (par)", s, c, parH[s])
+		}
+	}
+}
+
+func TestSizeHistogramInvalidOptions(t *testing.T) {
+	g := gen.GNP(10, 0.5, 1)
+	if _, _, err := SizeHistogram(context.Background(), g, NewOptions(0, 5)); err == nil {
+		t.Error("expected validation error")
+	}
+}

@@ -1,0 +1,19 @@
+package kplex
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// mustRun runs the engine and fails the test on error. Lives in the
+// internal test package so white-box tests can share it.
+func mustRun(t *testing.T, g *graph.Graph, opts Options) Result {
+	t.Helper()
+	res, err := Run(context.Background(), g, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}

@@ -1,0 +1,79 @@
+package kplex
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// This file implements maximum k-plex finding on top of the enumerator —
+// the companion problem solved by the BS/kPlexS line of work the paper
+// reviews in Section 2. The approach is the standard "guess the size"
+// reduction: binary-search the largest q for which a k-plex with at least
+// q vertices exists, answering each existence query with a first-hit
+// enumeration run (Options.FirstOnly). Each query benefits from the full
+// pruning stack, and a hit at size s > q immediately lifts the lower bound
+// to s.
+
+// FindMaximumKPlex returns a maximum-cardinality k-plex of g among those
+// with at least 2k-1 vertices (the connectivity regime of Theorem 3.3 that
+// the search decomposition requires). If no such k-plex exists it returns
+// nil: smaller k-plexes always exist trivially (any k vertices form one)
+// but are rarely meaningful, and finding the largest of those would need a
+// different decomposition.
+func FindMaximumKPlex(ctx context.Context, g *graph.Graph, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("kplex: k must be >= 1, got %d", k)
+	}
+	lo := 2*k - 1 // smallest admissible q
+	// Degeneracy upper bound: a k-plex P has minimum internal degree
+	// |P|-k, so G has a (|P|-k)-core and |P| <= D+k.
+	hi := graph.Degeneracy(g) + k
+	if hi < lo {
+		return nil, nil
+	}
+
+	var best []int
+	exists := func(q int) ([]int, error) {
+		opts := NewOptions(k, q)
+		opts.FirstOnly = true
+		var mu sync.Mutex
+		var found []int
+		opts.OnPlex = func(p []int) {
+			mu.Lock()
+			if found == nil {
+				found = append([]int(nil), p...)
+			}
+			mu.Unlock()
+		}
+		if _, err := Run(ctx, g, opts); err != nil {
+			return nil, err
+		}
+		return found, nil
+	}
+
+	// Invariant: a k-plex of size len(best) is in hand (once non-nil);
+	// sizes > hi are impossible. Probe the midpoint until the window
+	// closes.
+	for lo <= hi {
+		mid := (lo + hi + 1) / 2
+		if lo == hi {
+			mid = lo
+		}
+		p, err := exists(mid)
+		if err != nil {
+			return best, err
+		}
+		if p == nil {
+			hi = mid - 1
+			continue
+		}
+		if len(p) > len(best) {
+			best = p
+		}
+		lo = len(p) + 1
+	}
+	return best, nil
+}

@@ -1,0 +1,333 @@
+package kplex
+
+// Incumbent-driven maximum k-plex search, the dedicated branch-and-bound
+// formulation of the BS/kPlexS line of work (Section 2 of the paper).
+// Unlike FindMaximumKPlex — which answers a sequence of independent
+// existence queries — this runs one pass over the seed decomposition with a
+// global incumbent: every seed subgraph is built against the threshold
+// q = |best|+1 current at that moment, so improvements found early shrink
+// every later seed graph, and inside the search the Eq (3) upper bound
+// prunes against the incumbent instead of a fixed q.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// GreedyKPlex returns a (usually good) k-plex found greedily: vertices are
+// scanned in reverse degeneracy order (densest first) and added whenever
+// the set stays a k-plex. Used as the warm-start incumbent of
+// FindMaximumKPlexBnB; also a useful standalone heuristic.
+func GreedyKPlex(g *graph.Graph, k int) []int {
+	if g.N() == 0 || k < 1 {
+		return nil
+	}
+	cd := graph.Cores(g)
+	var P []int
+	degP := make(map[int]int) // degree into P for members and frontier
+	for i := g.N() - 1; i >= 0; i-- {
+		v := int(cd.Order[i])
+		// P ∪ {v} is a k-plex iff v misses at most k-1 members and no
+		// member's budget overflows.
+		dv := 0
+		for _, u := range g.Neighbors(v) {
+			if _, in := degP[int(u)]; in {
+				dv++
+			}
+		}
+		if len(P)+1-dv > k {
+			continue
+		}
+		ok := true
+		for _, u := range P {
+			du := degP[u]
+			if !g.HasEdge(u, v) && len(P)+1-du > k {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, u := range P {
+			if g.HasEdge(u, v) {
+				degP[u]++
+			}
+		}
+		degP[v] = dv
+		P = append(P, v)
+	}
+	return P
+}
+
+// maxSearch carries the incumbent state of one FindMaximumKPlexBnB run.
+type maxSearch struct {
+	g       *graph.Graph // relabelled working graph
+	k       int
+	toInput []int32
+	best    []int // input-space ids of the incumbent (nil if none)
+
+	// Scratch, re-sized per seed graph.
+	scratchN int
+	degP     []int
+	degPC    []int
+	sat      *bitset.Set
+	pc       *bitset.Set
+	bs       boundScratch
+
+	nodes int64 // search-tree nodes, for tests and diagnostics
+}
+
+// targetQ is the size every surviving branch must be able to reach.
+func (ms *maxSearch) targetQ() int {
+	if t := len(ms.best) + 1; t > 2*ms.k-1 {
+		return t
+	}
+	return 2*ms.k - 1
+}
+
+// FindMaximumKPlexBnB returns a maximum-cardinality k-plex of g among those
+// with at least 2k-1 vertices (nil when none exists), using a single
+// incumbent-pruned branch-and-bound pass. It computes the same answer size
+// as FindMaximumKPlex; the tie choice may differ.
+func FindMaximumKPlexBnB(ctx context.Context, g *graph.Graph, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("kplex: k must be >= 1, got %d", k)
+	}
+	ms := &maxSearch{k: k}
+	if warm := GreedyKPlex(g, k); len(warm) >= 2*k-1 {
+		ms.best = warm
+	}
+
+	// Reduce once against the weakest threshold this run will ever use;
+	// later improvements tighten per-seed construction instead.
+	core, coreID := graph.KCore(g, ms.targetQ()-k)
+	relab, relID := graph.DegeneracyOrderedCopy(core)
+	toInput := make([]int32, relab.N())
+	for i := range toInput {
+		toInput[i] = coreID[relID[i]]
+	}
+	ms.g = relab
+	ms.toInput = toInput
+
+	for s := 0; s < relab.N(); s++ {
+		if ctx != nil && ctx.Err() != nil {
+			return ms.best, ctx.Err()
+		}
+		opts := NewOptions(k, ms.targetQ())
+		sg := buildSeedGraph(relab, s, &opts)
+		if sg == nil {
+			continue
+		}
+		ms.prepare(sg)
+		ms.searchSeed(sg)
+	}
+	return ms.best, nil
+}
+
+func (ms *maxSearch) prepare(sg *seedGraph) {
+	if ms.scratchN == sg.nAll && ms.sat != nil {
+		return
+	}
+	n := sg.nAll
+	ms.scratchN = n
+	ms.degP = make([]int, n)
+	ms.degPC = make([]int, n)
+	ms.sat = bitset.New(n)
+	ms.pc = bitset.New(n)
+	ms.bs = boundScratch{}
+	ms.bs.resize(n)
+}
+
+// record stores P (local ids of sg) as the new incumbent if it is larger.
+func (ms *maxSearch) record(sg *seedGraph, P *bitset.Set, sizeP int) {
+	if sizeP <= len(ms.best) || sizeP < 2*ms.k-1 {
+		return
+	}
+	out := make([]int, 0, sizeP)
+	P.ForEach(func(v int) {
+		out = append(out, int(ms.toInput[sg.orig[v]]))
+	})
+	ms.best = out
+}
+
+// searchSeed mirrors the engine's generateTasks: the S = ∅ task plus the
+// set-enumeration of S ⊆ N²(v_i) with |S| ≤ k-1, each branch pruned against
+// the incumbent-driven targetQ.
+func (ms *maxSearch) searchSeed(sg *seedGraph) {
+	k := ms.k
+	P0 := bitset.New(sg.nAll)
+	P0.Add(0)
+	ms.branch(sg, P0, sg.nbrSeed.Clone(), 1)
+
+	if k < 2 || len(sg.hop2) == 0 {
+		return
+	}
+	var sBuf []int
+	var rec func(startIdx int, CS, allowed *bitset.Set)
+	rec = func(startIdx int, CS, allowed *bitset.Set) {
+		for idx := startIdx; idx < len(sg.hop2); idx++ {
+			u := sg.hop2[idx]
+			if !allowed.Contains(u) {
+				continue
+			}
+			sBuf = append(sBuf, u)
+			if !validSeedSet(sg, sBuf, k) {
+				sBuf = sBuf[:len(sBuf)-1]
+				continue
+			}
+			CSu := CS.Clone()
+			allowedU := allowed.Clone()
+			if sg.pair != nil {
+				CSu.And(sg.pair[u])
+				allowedU.And(sg.pair[u])
+			}
+			P := bitset.New(sg.nAll)
+			P.Add(0)
+			for _, v := range sBuf {
+				P.Add(v)
+			}
+			sizeP := 1 + len(sBuf)
+
+			// R1 against the current incumbent target.
+			degP := ms.degP
+			P.ForEach(func(v int) { degP[v] = sg.adj[v].IntersectionCount(P) })
+			CSu.ForEach(func(v int) { degP[v] = sg.adj[v].IntersectionCount(P) })
+			if ms.bs.subtaskBound(sg, k, sizeP, P, CSu, degP) >= ms.targetQ() {
+				ms.branch(sg, P, CSu.Clone(), sizeP)
+			}
+			if len(sBuf) < k-1 {
+				rec(idx+1, CSu, allowedU)
+			}
+			sBuf = sBuf[:len(sBuf)-1]
+		}
+	}
+	rec(0, sg.nbrSeed.Clone(), sg.hop2Set.Clone())
+}
+
+// branch is the incumbent-pruned Algorithm 3 without an exclusive set:
+// maximum search does not need maximality certificates, only sizes.
+func (ms *maxSearch) branch(sg *seedGraph, P, C *bitset.Set, sizeP int) {
+	k := ms.k
+	adj := sg.adj
+	pw := sg.pWords
+
+	for {
+		ms.nodes++
+
+		// Refine C; also validate P (multi-vertex seeds can be invalid).
+		ms.sat.Clear()
+		validP := true
+		P.ForEach(func(u int) {
+			d := adj[u].IntersectionCountPrefix(P, pw)
+			ms.degP[u] = d
+			switch {
+			case d < sizeP-k:
+				validP = false
+			case d == sizeP-k:
+				ms.sat.Add(u)
+			}
+		})
+		if !validP {
+			return
+		}
+		minNeed := sizeP + 1 - k
+		C.ForEach(func(v int) {
+			d := adj[v].IntersectionCountPrefix(P, pw)
+			if d < minNeed || !ms.sat.IsSubsetPrefix(adj[v], pw) {
+				C.Remove(v)
+				return
+			}
+			ms.degP[v] = d
+		})
+
+		sizeC := C.Count()
+		// The whole branch cannot beat the incumbent: prune.
+		if sizeP+sizeC < ms.targetQ() {
+			// P itself may still be a record (only when C dried up
+			// naturally, which record() re-checks against 2k-1).
+			ms.record(sg, P, sizeP)
+			return
+		}
+		if sizeC == 0 {
+			ms.record(sg, P, sizeP)
+			return
+		}
+
+		// Pivot selection (minimum degree in G[P ∪ C]).
+		ms.pc.Copy(P)
+		ms.pc.Or(C)
+		sizePC := sizeP + sizeC
+		minDeg := sizePC
+		ms.pc.ForEach(func(v int) {
+			d := adj[v].IntersectionCountPrefix(ms.pc, pw)
+			ms.degPC[v] = d
+			if d < minDeg {
+				minDeg = d
+			}
+		})
+		if minDeg >= sizePC-k {
+			// P ∪ C collapses into one k-plex.
+			ms.record(sg, ms.pc, sizePC)
+			return
+		}
+		vp0, vp0InP, bestNon := -1, false, -1
+		ms.pc.ForEach(func(v int) {
+			if ms.degPC[v] != minDeg {
+				return
+			}
+			inP := P.Contains(v)
+			non := sizeP - ms.degP[v]
+			if vp0 == -1 || non > bestNon || (non == bestNon && inP && !vp0InP) {
+				vp0, vp0InP, bestNon = v, inP, non
+			}
+		})
+		vp := vp0
+		if vp0InP {
+			vp = ms.repick(sg, C, sizeP, vp0)
+		}
+
+		// Include branch, pruned against the incumbent.
+		ub := ms.bs.supportBound(sg, k, sizeP, P, C, ms.degP, vp, false)
+		if d := ms.degPC[vp0] + k; d < ub {
+			ub = d
+		}
+		if ub >= ms.targetQ() {
+			newP := P.Clone()
+			newP.Add(vp)
+			newC := C.Clone()
+			newC.Remove(vp)
+			if sg.pair != nil && vp < sg.nv {
+				newC.And(sg.pair[vp])
+			}
+			ms.branch(sg, newP, newC, sizeP+1)
+		}
+
+		// Exclude branch in this frame.
+		C.Remove(vp)
+	}
+}
+
+// repick chooses a C pivot among the non-neighbours of the P-pivot, same
+// rules as the enumerator.
+func (ms *maxSearch) repick(sg *seedGraph, C *bitset.Set, sizeP, vp0 int) int {
+	best, bestDeg, bestNon := -1, 0, -1
+	avp := sg.adj[vp0]
+	C.ForEach(func(v int) {
+		if avp.Contains(v) {
+			return
+		}
+		d := ms.degPC[v]
+		non := sizeP - ms.degP[v]
+		if best == -1 || d < bestDeg || (d == bestDeg && non > bestNon) {
+			best, bestDeg, bestNon = v, d, non
+		}
+	})
+	if best == -1 {
+		best = C.Any()
+	}
+	return best
+}

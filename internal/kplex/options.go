@@ -1,0 +1,265 @@
+// Package kplex implements the paper's branch-and-bound algorithm for
+// enumerating all maximal k-plexes with at least q vertices: search-space
+// partitioning into seed-subgraph sub-tasks (Algorithm 2), the pivot-based
+// Branch procedure (Algorithm 3), the upper bounds of Theorems 5.3/5.5/5.7,
+// the vertex-pair pruning rules of Theorems 5.13-5.15, the Ours_P branching
+// variant (Eq 4-6), and the stage-based parallel engine with timeout task
+// splitting (Section 6).
+package kplex
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// UpperBoundStyle selects how the include-branch upper bound (Algorithm 3
+// line 17) is computed. The ablation in the paper's Table 5 compares these.
+type UpperBoundStyle int
+
+const (
+	// UBNone disables upper-bound pruning entirely ("Ours\ub").
+	UBNone UpperBoundStyle = iota
+	// UBOurs is the paper's bound: Eq (3), the min of the support bound
+	// (Theorem 5.5 / Algorithm 4) and the degree bound (Theorem 5.3).
+	UBOurs
+	// UBSortFP is the FP-style bound ("Ours\ub+fp"): the same support
+	// accounting but over candidates sorted by non-neighbour count, costing
+	// an O(|C| log |C|) sort per recursion as FP's bound does.
+	UBSortFP
+	// UBColor is the graph-coloring bound of the Maplex line of work
+	// reviewed in Section 2 ("Ours\ub+color"): greedily color G[C] and
+	// charge at most k vertices per color class. An extension beyond the
+	// paper's own bound, provided for the ablation harness.
+	UBColor
+)
+
+func (s UpperBoundStyle) String() string {
+	switch s {
+	case UBNone:
+		return "none"
+	case UBOurs:
+		return "ours"
+	case UBSortFP:
+		return "fp-sort"
+	case UBColor:
+		return "color"
+	default:
+		return fmt.Sprintf("UpperBoundStyle(%d)", int(s))
+	}
+}
+
+// BranchingStyle selects what happens when the pivot of Algorithm 3 lines
+// 7-10 lands in P.
+type BranchingStyle int
+
+const (
+	// BranchRepick re-picks a pivot from the C non-neighbours of the P
+	// pivot (Algorithm 3 lines 15-16); this is the paper's default "Ours".
+	BranchRepick BranchingStyle = iota
+	// BranchFaPlexen applies the FaPlexen multi-way branching of Eq (4)-(6)
+	// instead; this is the "Ours_P" variant (and what ListPlex uses).
+	BranchFaPlexen
+)
+
+func (s BranchingStyle) String() string {
+	switch s {
+	case BranchRepick:
+		return "repick"
+	case BranchFaPlexen:
+		return "faplexen"
+	default:
+		return fmt.Sprintf("BranchingStyle(%d)", int(s))
+	}
+}
+
+// PartitionStyle selects how each seed's search space is split into tasks.
+type PartitionStyle int
+
+const (
+	// PartitionSubtasks is the paper's scheme: one task per subset
+	// S ⊆ N²(v_i) with |S| ≤ k-1, candidates restricted to N(v_i). This is
+	// what gives the O(n r1^k r2 γ_k^D) complexity.
+	PartitionSubtasks PartitionStyle = iota
+	// PartitionWhole2Hop is the FP-style scheme: a single task per seed
+	// whose candidate set is the entire later 2-hop neighbourhood, giving
+	// the looser O(γ_k^|C|) branch count the paper improves on.
+	PartitionWhole2Hop
+)
+
+func (s PartitionStyle) String() string {
+	switch s {
+	case PartitionSubtasks:
+		return "subtasks"
+	case PartitionWhole2Hop:
+		return "whole-2hop"
+	default:
+		return fmt.Sprintf("PartitionStyle(%d)", int(s))
+	}
+}
+
+// SchedulerStyle selects how parallel workers obtain work (Section 6).
+type SchedulerStyle int
+
+const (
+	// SchedulerStages is the paper's scheme: stages of M seeds, one per
+	// worker, each worker draining its own LIFO queue and stealing FIFO
+	// from others. Maximises cache locality on the shared seed subgraphs
+	// while stage barriers bound memory.
+	SchedulerStages SchedulerStyle = iota
+	// SchedulerGlobalQueue is the strawman ablation: one shared task queue
+	// that every worker pushes to and pops from. Load balancing is perfect
+	// but tasks from many different seed subgraphs interleave on each core,
+	// defeating the cache-locality argument of Section 6 and contending on
+	// a single lock.
+	SchedulerGlobalQueue
+)
+
+func (s SchedulerStyle) String() string {
+	switch s {
+	case SchedulerStages:
+		return "stages"
+	case SchedulerGlobalQueue:
+		return "global-queue"
+	default:
+		return fmt.Sprintf("SchedulerStyle(%d)", int(s))
+	}
+}
+
+// Options configures one enumeration run. The zero value is not valid; use
+// NewOptions or fill K and Q explicitly. The ablation variants of the
+// paper's Tables 5-6 are expressed by toggling UpperBound, UseSubtaskBound
+// (R1) and UsePairPruning (R2).
+type Options struct {
+	// K is the k-plex relaxation parameter (k >= 1).
+	K int
+	// Q is the minimum size of reported k-plexes; must satisfy Q >= 2K-1 so
+	// that the diameter-2 seed decomposition (Theorem 3.3) is sound.
+	Q int
+
+	// UpperBound selects the include-branch bound (Algorithm 3 line 17).
+	UpperBound UpperBoundStyle
+	// UseSubtaskBound enables rule R1: pruning initial sub-tasks whose
+	// Theorem 5.7 bound is below Q.
+	UseSubtaskBound bool
+	// UsePairPruning enables rule R2: the vertex-pair compatibility matrix
+	// of Theorems 5.13-5.15.
+	UsePairPruning bool
+	// Branching selects Ours (repick) vs Ours_P (FaPlexen Eq 4-6).
+	Branching BranchingStyle
+	// Partition selects the task decomposition (see PartitionStyle).
+	Partition PartitionStyle
+	// SerializeSeedBuild forces seed-subgraph construction through a global
+	// lock in parallel runs, reproducing the bottleneck of FP's parallel
+	// implementation that the paper's Table 4 discussion calls out. It has
+	// no effect on sequential runs.
+	SerializeSeedBuild bool
+
+	// Threads is the number of workers; values < 1 mean 1 (sequential).
+	Threads int
+	// Scheduler selects the parallel work-distribution scheme; the zero
+	// value is the paper's stage-based scheme (see SchedulerStyle).
+	Scheduler SchedulerStyle
+	// TaskTimeout is τ_time from Section 6: once a task has run this long,
+	// further branches are materialised as new tasks for other workers to
+	// steal. Zero disables splitting (tasks run to completion), which is
+	// also the sequential default.
+	TaskTimeout time.Duration
+
+	// UseCTCP enables the kPlexS-style core-truss co-pruning preprocessing
+	// (see ReduceCTCP). Off by default — the paper's algorithm does not
+	// use it; it is provided as the natural extension from the related
+	// work and never changes the result set.
+	UseCTCP bool
+
+	// FirstOnly stops the run as soon as one maximal k-plex has been
+	// reported. Used for existence queries (see FindMaximumKPlex); the
+	// Result count may be slightly above 1 in parallel runs because
+	// concurrent workers can emit before observing the stop flag.
+	FirstOnly bool
+
+	// OnPlex, when non-nil, receives every maximal k-plex as a sorted slice
+	// of vertex ids of the input graph. It may be called concurrently from
+	// multiple workers and must not retain the slice.
+	OnPlex func(plex []int)
+}
+
+// NewOptions returns the paper's default configuration ("Ours"): full upper
+// bounding, R1+R2 pruning, repick branching, sequential.
+func NewOptions(k, q int) Options {
+	return Options{
+		K:               k,
+		Q:               q,
+		UpperBound:      UBOurs,
+		UseSubtaskBound: true,
+		UsePairPruning:  true,
+		Branching:       BranchRepick,
+		Threads:         1,
+	}
+}
+
+// BasicOptions returns the "Basic" ablation variant of Table 6: the full
+// framework with upper bounding but without R1 and R2.
+func BasicOptions(k, q int) Options {
+	o := NewOptions(k, q)
+	o.UseSubtaskBound = false
+	o.UsePairPruning = false
+	return o
+}
+
+// Validate reports whether the options describe a well-formed run.
+func (o *Options) Validate() error {
+	if o.K < 1 {
+		return fmt.Errorf("kplex: K must be >= 1, got %d", o.K)
+	}
+	if o.Q < 2*o.K-1 {
+		return fmt.Errorf("kplex: Q must be >= 2K-1 = %d for the diameter-2 decomposition, got %d", 2*o.K-1, o.Q)
+	}
+	if o.TaskTimeout < 0 {
+		return errors.New("kplex: TaskTimeout must be >= 0")
+	}
+	return nil
+}
+
+// Stats are cumulative search counters, useful for the ablation analysis and
+// for tests asserting that pruning rules actually fire.
+type Stats struct {
+	Seeds         int64 // task groups (seed subgraphs) built
+	Tasks         int64 // (v_i, S) sub-tasks started
+	TasksPrunedR1 int64 // sub-tasks pruned by Theorem 5.7 before starting
+	Branches      int64 // Branch invocations (Algorithm 3 recursion bodies)
+	UBPruned      int64 // include-branches cut by the Eq (3) bound
+	Collapses     int64 // subtrees closed by the P∪C k-plex shortcut (lines 11-14)
+	Repicks       int64 // pivots re-picked from C after landing in P (lines 15-16)
+	Splits        int64 // tasks materialised by the timeout mechanism
+	Emitted       int64 // maximal k-plexes reported
+	MaxPlexSize   int64 // largest reported k-plex (0 when none)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Seeds += other.Seeds
+	s.Tasks += other.Tasks
+	s.TasksPrunedR1 += other.TasksPrunedR1
+	s.Branches += other.Branches
+	s.UBPruned += other.UBPruned
+	s.Collapses += other.Collapses
+	s.Repicks += other.Repicks
+	s.Splits += other.Splits
+	s.Emitted += other.Emitted
+	if other.MaxPlexSize > s.MaxPlexSize {
+		s.MaxPlexSize = other.MaxPlexSize
+	}
+}
+
+// Result summarises one enumeration run.
+type Result struct {
+	// Count is the number of maximal k-plexes with at least Q vertices.
+	Count int64
+	// Stats holds the search counters accumulated across all workers.
+	Stats Stats
+	// Elapsed is the wall-clock enumeration time (excluding graph loading,
+	// matching the paper's measurement convention; core decomposition and
+	// subgraph construction are included).
+	Elapsed time.Duration
+}

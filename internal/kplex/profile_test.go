@@ -1,0 +1,39 @@
+package kplex
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// BenchmarkEngineChungLu is the internal profiling benchmark used to tune
+// the hot path (run with -cpuprofile / -memprofile).
+func BenchmarkEngineChungLu(b *testing.B) {
+	g := gen.ChungLu(2000, 22, 2.2, 41)
+	opts := NewOptions(3, 16)
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Count), "plexes")
+	}
+}
+
+// BenchmarkEnginePlanted exercises the planted-community workload where
+// collapse detection (Algorithm 3 lines 11-14) dominates.
+func BenchmarkEnginePlanted(b *testing.B) {
+	g := gen.Planted(gen.PlantedConfig{
+		N: 3000, BackgroundP: 0.001, Communities: 60,
+		CommSize: 14, DropPerV: 2, Overlap: 3, Seed: 42,
+	})
+	opts := NewOptions(3, 10)
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Count), "plexes")
+	}
+}

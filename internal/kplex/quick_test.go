@@ -1,0 +1,100 @@
+package kplex_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/gen"
+	"repro/internal/kplex"
+)
+
+// TestQuickEngineMatchesOracle drives testing/quick over random graph
+// parameters: for every sampled (n, p, k, q) the engine must agree with the
+// plain Bron-Kerbosch oracle.
+func TestQuickEngineMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(8)
+		p := 0.25 + 0.5*rng.Float64()
+		k := 1 + rng.Intn(3)
+		q := 2*k - 1 + rng.Intn(3)
+		g := gen.GNP(n, p, seed)
+
+		want := baseline.NaiveEnumerate(g, k, q)
+
+		var got int
+		opts := kplex.NewOptions(k, q)
+		opts.OnPlex = func([]int) { got++ }
+		res, err := kplex.Run(context.Background(), g, opts)
+		if err != nil {
+			return false
+		}
+		return int64(got) == res.Count && got == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHereditaryInvariant samples emitted plexes and checks the
+// hereditary property the algorithm relies on: every subset obtained by
+// dropping one vertex is still a k-plex.
+func TestQuickHereditaryInvariant(t *testing.T) {
+	g := gen.ChungLu(500, 14, 2.3, 77)
+	const k, q = 2, 6
+	var plexes [][]int
+	opts := kplex.NewOptions(k, q)
+	opts.OnPlex = func(p []int) {
+		if len(plexes) < 50 {
+			plexes = append(plexes, append([]int(nil), p...))
+		}
+	}
+	if _, err := kplex.Run(context.Background(), g, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(plexes) == 0 {
+		t.Skip("no plexes at this setting")
+	}
+	for _, p := range plexes {
+		for drop := range p {
+			sub := append(append([]int(nil), p[:drop]...), p[drop+1:]...)
+			if !kplex.IsKPlex(g, sub, k) {
+				t.Fatalf("hereditary violation: %v minus %d is not a k-plex", p, p[drop])
+			}
+		}
+	}
+}
+
+// TestQuickCoreContainment checks Theorem 3.5 empirically: every emitted
+// plex must survive the (q-k)-core reduction.
+func TestQuickCoreContainment(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(40)
+		g := gen.GNP(n, 0.3, seed)
+		k := 1 + rng.Intn(2)
+		q := 2*k - 1 + rng.Intn(2)
+
+		ok := true
+		opts := kplex.NewOptions(k, q)
+		opts.OnPlex = func(p []int) {
+			// Each member needs >= q-k neighbours inside the plex, hence
+			// >= q-k in the whole graph.
+			for _, v := range p {
+				if g.Degree(v) < q-k {
+					ok = false
+				}
+			}
+		}
+		if _, err := kplex.Run(context.Background(), g, opts); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package kplex
+
+import (
+	"repro/internal/graph"
+)
+
+// ReduceCTCP applies the core-truss co-pruning style reduction that kPlexS
+// (Chang, Xu, Strash; VLDB 2022) introduced for maximum k-plex search,
+// adapted here to size-constrained enumeration. Two rules run to a joint
+// fixed point:
+//
+//   - vertex rule (Theorem 3.5): drop v when d(v) < q-k;
+//   - edge rule (Theorem 5.1(ii)): drop edge (u,v) when
+//     |N(u) ∩ N(v)| < q-2k, because two adjacent vertices of any k-plex P
+//     with |P| >= q share at least q-2k common neighbours inside P.
+//
+// Soundness for enumeration (not just optimisation): by induction over the
+// deletion sequence, every vertex and every edge inside a valid k-plex of
+// size >= q survives, and so does every maximality witness P ∪ {x} (it is
+// itself a valid k-plex of size >= q). The returned graph shares g's vertex
+// id space; pruned vertices simply become isolated and fall out of the
+// (q-k)-core that Run applies next.
+//
+// The reduction subsumes repeated k-core peeling and never changes the
+// result set; it is an optional preprocessing step (Options.UseCTCP)
+// because its O(sum of deg(u)+deg(v) per edge) pass only pays off on
+// graphs with many low-support edges.
+func ReduceCTCP(g *graph.Graph, k, q int) *graph.Graph {
+	n := g.N()
+	if n == 0 || q-2*k < 1 {
+		// An edge threshold of q-2k <= 0 never fires, and plain k-core
+		// pruning is already done by Run; nothing to do.
+		return g
+	}
+	// Adjacency as sorted slices we can shrink. alive[v] tracks vertices.
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		adj[v] = append([]int32(nil), g.Neighbors(v)...)
+	}
+	degMin := q - k
+	cnMin := q - 2*k
+
+	removeEdge := func(u int, v int32) {
+		row := adj[u]
+		for i, w := range row {
+			if w == v {
+				adj[u] = append(row[:i], row[i+1:]...)
+				return
+			}
+		}
+	}
+	commonCount := func(u, v int) int {
+		a, b := adj[u], adj[v]
+		i, j, c := 0, 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case a[i] > b[j]:
+				j++
+			default:
+				c++
+				i++
+				j++
+			}
+		}
+		return c
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Vertex rule: clearing a row deletes all incident edges.
+		for v := 0; v < n; v++ {
+			if len(adj[v]) > 0 && len(adj[v]) < degMin {
+				for _, u := range adj[v] {
+					removeEdge(int(u), int32(v))
+				}
+				adj[v] = adj[v][:0]
+				changed = true
+			}
+		}
+		// Edge rule.
+		for u := 0; u < n; u++ {
+			row := adj[u]
+			for i := 0; i < len(row); {
+				v := row[i]
+				if int(v) > u && commonCount(u, int(v)) < cnMin {
+					adj[u] = append(adj[u][:i], adj[u][i+1:]...)
+					row = adj[u]
+					removeEdge(int(v), int32(u))
+					changed = true
+					continue
+				}
+				i++
+			}
+		}
+	}
+
+	var b graph.Builder
+	for v := 0; v < n; v++ {
+		for _, u := range adj[v] {
+			if int32(v) < u {
+				b.AddEdge(v, int(u))
+			}
+		}
+	}
+	reduced, err := b.Build(n)
+	if err != nil {
+		panic("kplex: ctcp rebuild: " + err.Error())
+	}
+	return reduced
+}

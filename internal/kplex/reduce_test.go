@@ -1,0 +1,65 @@
+package kplex
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestReduceCTCPPreservesResults(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := gen.ChungLu(800, 14, 2.3, 400+seed)
+		for _, kq := range []struct{ k, q int }{{2, 8}, {3, 10}} {
+			plain := mustRun(t, g, NewOptions(kq.k, kq.q))
+			withCTCP := NewOptions(kq.k, kq.q)
+			withCTCP.UseCTCP = true
+			reduced := mustRun(t, g, withCTCP)
+			if plain.Count != reduced.Count {
+				t.Fatalf("seed=%d k=%d q=%d: CTCP changed count %d -> %d",
+					seed, kq.k, kq.q, plain.Count, reduced.Count)
+			}
+		}
+	}
+}
+
+func TestReduceCTCPActuallyPrunes(t *testing.T) {
+	// A sparse power-law graph with q-2k = 4: most edges have fewer than 4
+	// common neighbours and must disappear.
+	g := gen.ChungLu(2000, 6, 2.4, 9)
+	r := ReduceCTCP(g, 2, 8)
+	if r.M() >= g.M() {
+		t.Fatalf("no pruning: %d -> %d edges", g.M(), r.M())
+	}
+	if r.N() != g.N() {
+		t.Fatalf("vertex id space changed: %d -> %d", g.N(), r.N())
+	}
+}
+
+func TestReduceCTCPKeepsDensePlexes(t *testing.T) {
+	// A clique of 12 inside noise must survive with all internal edges.
+	cfg := gen.PlantedConfig{
+		N: 300, BackgroundP: 0.01, Communities: 1, CommSize: 12, DropPerV: 0, Seed: 4,
+	}
+	g := gen.Planted(cfg)
+	r := ReduceCTCP(g, 2, 10)
+	for u := 0; u < 12; u++ {
+		for v := u + 1; v < 12; v++ {
+			if !r.HasEdge(u, v) {
+				t.Fatalf("clique edge (%d,%d) was pruned", u, v)
+			}
+		}
+	}
+}
+
+func TestReduceCTCPNoOpCases(t *testing.T) {
+	g := gen.GNP(50, 0.3, 1)
+	// q-2k <= 0: must return the graph unchanged (same pointer is fine).
+	if r := ReduceCTCP(g, 3, 5); r.M() != g.M() {
+		t.Fatal("threshold-free reduction changed the graph")
+	}
+	empty, _ := (&graph.Builder{}).Build(0)
+	if r := ReduceCTCP(empty, 2, 8); r.N() != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+}

@@ -1,0 +1,321 @@
+package kplex
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// seedGraph is the per-seed working graph G_i of Algorithm 2: the seed
+// vertex v_i, its later neighbours N¹ (the candidate pool C_S), its later
+// 2-hop vertices N² (the S-enumeration pool), and the earlier 2-hop
+// vertices V' that only ever appear in the exclusive set X. Vertices are
+// relabelled into a compact local id space:
+//
+//	0            — the seed v_i
+//	1..|N¹|      — later neighbours, ascending global id
+//	..nv-1       — later 2-hop vertices (N²), ascending global id
+//	nv..nAll-1   — earlier 2-hop vertices (V'), X-only
+//
+// Adjacency is stored as one bitset row per local vertex over the full
+// local domain. Rows of candidate-space vertices (id < nv) carry bits for
+// both candidate-space and V' neighbours so that degree bookkeeping during
+// branching covers X; V' rows carry candidate-space bits only (two X
+// vertices are never compared against each other).
+type seedGraph struct {
+	seed   int32   // global (degeneracy-relabelled) id of v_i
+	nv     int     // 1 + |N¹| + |N²|: vertices allowed in P ∪ C
+	pWords int     // number of 64-bit words covering the candidate space
+	nAll   int     // nv + |V'|
+	orig   []int32 // local id -> global id, len nAll
+	adj    []*bitset.Set
+	degGi  []int // degree within candidate space (d_{G_i}), len nv
+
+	nbrSeed *bitset.Set // N¹ as a bitset (the initial C_S)
+	hop2    []int       // local ids of N² vertices, ascending
+	hop2Set *bitset.Set // same as a bitset
+	xBase   *bitset.Set // V' vertices as a bitset (bits nv..nAll)
+
+	// pair[u], when pair pruning is enabled, is the compatibility row of
+	// Theorems 5.13-5.15: bit v is clear iff u and v provably cannot
+	// co-occur in any k-plex of size >= q. Bits in the V' range are always
+	// set so that X ∩= pair[u] is a no-op for X-only vertices.
+	pair []*bitset.Set
+}
+
+// buildSeedGraph constructs G_i for seed s over the degeneracy-relabelled
+// graph g ("later" is the numeric comparison u > s). Returns nil when the
+// pruned candidate space is too small to hold any q-vertex k-plex.
+func buildSeedGraph(g *graph.Graph, s int, opts *Options) *seedGraph {
+	k, q := opts.K, opts.Q
+
+	// Later neighbours. A q-vertex k-plex whose earliest member is v_i has
+	// at least q-k of v_i's neighbours, all later than v_i, so the group is
+	// empty whenever |N¹| < q-k.
+	var n1 []int32
+	for _, u := range g.Neighbors(s) {
+		if u > int32(s) {
+			n1 = append(n1, u)
+		}
+	}
+	if len(n1) < q-k {
+		return nil
+	}
+
+	// Corollary 5.2 on N¹, iterated to a fixed point: u ∈ N¹ needs at
+	// least q-2k common neighbours with v_i inside the (surviving) N¹.
+	inN1 := make(map[int32]int) // global -> provisional index marker
+	for _, u := range n1 {
+		inN1[u] = 1
+	}
+	thrN1 := q - 2*k
+	for changed := true; changed && thrN1 > 0; {
+		changed = false
+		for _, u := range n1 {
+			if inN1[u] == 0 {
+				continue
+			}
+			common := 0
+			for _, w := range g.Neighbors(int(u)) {
+				if inN1[w] != 0 {
+					common++
+				}
+			}
+			if common < thrN1 {
+				inN1[u] = 0
+				changed = true
+			}
+		}
+	}
+	kept1 := n1[:0]
+	for _, u := range n1 {
+		if inN1[u] != 0 {
+			kept1 = append(kept1, u)
+		}
+	}
+	n1 = kept1
+	if len(n1) < q-k {
+		return nil
+	}
+
+	// Later 2-hop vertices reached through surviving N¹, pruned by the
+	// Corollary 5.2 threshold q-2k+2; and earlier 2-hop vertices V' pruned
+	// by the Theorem 5.1 thresholds.
+	n1set := make(map[int32]bool, len(n1))
+	for _, u := range n1 {
+		n1set[u] = true
+	}
+	common := make(map[int32]int) // candidate 2-hop vertex -> |N(x) ∩ N¹|
+	for _, u := range n1 {
+		for _, w := range g.Neighbors(int(u)) {
+			if w != int32(s) && !n1set[w] {
+				common[w]++
+			}
+		}
+	}
+	thr2 := q - 2*k + 2
+	var n2, xs []int32
+	seedNbr := make(map[int32]bool, g.Degree(s))
+	for _, u := range g.Neighbors(s) {
+		seedNbr[u] = true
+	}
+	for w, c := range common {
+		if w > int32(s) {
+			if c >= thr2 && !seedNbr[w] {
+				n2 = append(n2, w)
+			}
+		} else {
+			// Earlier vertex at distance 2 via N¹.
+			if !seedNbr[w] && c >= thr2 {
+				xs = append(xs, w)
+			}
+		}
+	}
+	// Earlier direct neighbours of the seed: Theorem 5.1(ii) threshold
+	// q-2k (no structural requirement when it is non-positive).
+	thrAdj := q - 2*k
+	for _, u := range g.Neighbors(s) {
+		if u < int32(s) {
+			if thrAdj <= 0 || common[u] >= thrAdj {
+				xs = append(xs, u)
+			}
+		}
+	}
+	sortInt32(n2)
+	sortInt32(xs)
+
+	// For k=1 (maximal cliques) no 2-hop candidate can join P, and the
+	// pruning threshold already removed them via |S| <= k-1 = 0; keep N²
+	// empty to skip pointless S enumeration.
+	if k == 1 {
+		n2 = nil
+	}
+
+	nv := 1 + len(n1) + len(n2)
+	if nv < q {
+		return nil
+	}
+	nAll := nv + len(xs)
+	sg := &seedGraph{
+		seed:   int32(s),
+		nv:     nv,
+		pWords: (nv + 63) / 64,
+		nAll:   nAll,
+		orig:   make([]int32, nAll),
+	}
+	localID := make(map[int32]int, nAll)
+	sg.orig[0] = int32(s)
+	localID[int32(s)] = 0
+	at := 1
+	for _, u := range n1 {
+		sg.orig[at] = u
+		localID[u] = at
+		at++
+	}
+	for _, u := range n2 {
+		sg.orig[at] = u
+		localID[u] = at
+		sg.hop2 = append(sg.hop2, at)
+		at++
+	}
+	for _, u := range xs {
+		sg.orig[at] = u
+		localID[u] = at
+		at++
+	}
+
+	arena := bitset.NewArena(nAll, nAll)
+	sg.adj = make([]*bitset.Set, nAll)
+	for i := range sg.adj {
+		sg.adj[i] = arena.New()
+	}
+	for li := 0; li < nv; li++ {
+		for _, w := range g.Neighbors(int(sg.orig[li])) {
+			if lj, ok := localID[w]; ok {
+				sg.adj[li].Add(lj)
+				if lj >= nv {
+					// Symmetric bit so V' rows can be refined against P.
+					sg.adj[lj].Add(li)
+				}
+			}
+		}
+	}
+	sg.degGi = make([]int, nv)
+	vMask := bitset.New(nAll)
+	for i := 0; i < nv; i++ {
+		vMask.Add(i)
+	}
+	for i := 0; i < nv; i++ {
+		sg.degGi[i] = sg.adj[i].IntersectionCount(vMask)
+	}
+
+	sg.nbrSeed = bitset.New(nAll)
+	for i := 1; i <= len(n1); i++ {
+		sg.nbrSeed.Add(i)
+	}
+	sg.hop2Set = bitset.New(nAll)
+	for _, h := range sg.hop2 {
+		sg.hop2Set.Add(h)
+	}
+	sg.xBase = bitset.New(nAll)
+	for i := nv; i < nAll; i++ {
+		sg.xBase.Add(i)
+	}
+
+	if opts.UsePairPruning {
+		sg.buildPairMatrix(k, q)
+	}
+	return sg
+}
+
+// buildPairMatrix fills sg.pair with the compatibility rows of Theorems
+// 5.13 (N²×N²), 5.14 (N²×N¹) and 5.15 (N¹×N¹). The common-neighbour counts
+// are taken inside C_S = N¹ as the theorems require, with the theorem-
+// specific exclusions of the pair's own members.
+func (sg *seedGraph) buildPairMatrix(k, q int) {
+	nv, nAll := sg.nv, sg.nAll
+	arena := bitset.NewArena(nAll, nv)
+	sg.pair = make([]*bitset.Set, nv)
+	for i := 0; i < nv; i++ {
+		sg.pair[i] = arena.New()
+		sg.pair[i].Fill()
+	}
+
+	// Per-threshold constants; a non-positive threshold never prunes.
+	max0 := func(x int) int {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	thr1313Adj := q - k - 2*max0(k-2)                // 5.13, (u1,u2) ∈ E
+	thr1313Non := q - k - 2*max0(k-3)                // 5.13, (u1,u2) ∉ E
+	thr1514Adj := q - 2*k - max0(k-2)                // 5.14, adjacent
+	thr1514Non := q - k - max0(k-2) - maxInt(k-2, 1) // 5.14, non-adjacent
+	thr1515Adj := q - 3*k                            // 5.15, adjacent
+	thr1515Non := q - k - 2*maxInt(k-1, 1)           // 5.15, non-adjacent
+
+	// adjC[u] = N(u) ∩ C_S as a bitset for fast pair intersection counts.
+	adjC := make([]*bitset.Set, nv)
+	ca := bitset.NewArena(nAll, nv)
+	for u := 1; u < nv; u++ {
+		adjC[u] = ca.New()
+		adjC[u].Copy(sg.adj[u])
+		adjC[u].And(sg.nbrSeed)
+	}
+
+	n1hi := 1 + sg.nbrSeed.Count() // first N² local id
+	incompatible := func(u, v int) {
+		sg.pair[u].Remove(v)
+		sg.pair[v].Remove(u)
+	}
+	for u := 1; u < nv; u++ {
+		for v := u + 1; v < nv; v++ {
+			cn := adjC[u].IntersectionCount(adjC[v])
+			adj := sg.adj[u].Contains(v)
+			uInC, vInC := u < n1hi, v < n1hi
+			var thr int
+			switch {
+			case !uInC && !vInC: // both N² (Theorem 5.13)
+				if adj {
+					thr = thr1313Adj
+				} else {
+					thr = thr1313Non
+				}
+			case uInC != vInC: // one in N¹, one in N² (Theorem 5.14)
+				// The theorem counts common neighbours in C_S minus the N¹
+				// member of the pair, but a vertex is never its own
+				// neighbour, so the raw intersection already excludes it.
+				if adj {
+					thr = thr1514Adj
+				} else {
+					thr = thr1514Non
+				}
+			default: // both N¹ (Theorem 5.15): counts in C_S − {u1, u2}
+				// u, v cannot be their own common neighbours, and the
+				// intersection cannot contain u or v (no self-loops), so
+				// cn is already over C_S − {u, v}.
+				if adj {
+					thr = thr1515Adj
+				} else {
+					thr = thr1515Non
+				}
+			}
+			if cn < thr {
+				incompatible(u, v)
+			}
+		}
+	}
+}
+
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package kplex
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Theorem 3.2 (hereditariness): every subset of a k-plex is a k-plex.
+// Checked on random subsets of plexes the enumerator emits.
+func TestQuickTheorem32Hereditary(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.GNP(20+rng.Intn(20), 0.4, seed)
+		k := 1 + rng.Intn(3)
+		q := 2*k - 1
+		var plexes [][]int
+		opts := NewOptions(k, q)
+		opts.OnPlex = func(p []int) { plexes = append(plexes, append([]int(nil), p...)) }
+		if _, err := Run(context.Background(), g, opts); err != nil {
+			return false
+		}
+		for _, p := range plexes {
+			// Drop a random subset of members; the rest must stay a k-plex.
+			var sub []int
+			for _, v := range p {
+				if rng.Intn(2) == 0 {
+					sub = append(sub, v)
+				}
+			}
+			if len(sub) > 0 && !IsKPlex(g, sub, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorem 3.3 boundary: two disjoint (k-1)-cliques form a k-plex with
+// 2k-2 vertices that is disconnected — the counterexample the paper gives
+// for why q >= 2k-1 is required.
+func TestTheorem33BoundaryDisconnectedPlex(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5} {
+		size := k - 1
+		var b graph.Builder
+		// Clique A on [0, size), clique B on [size, 2*size).
+		for c := 0; c < 2; c++ {
+			base := c * size
+			for i := 0; i < size; i++ {
+				for j := i + 1; j < size; j++ {
+					b.AddEdge(base+i, base+j)
+				}
+			}
+		}
+		g, err := b.Build(2 * size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make([]int, 2*size)
+		for i := range all {
+			all[i] = i
+		}
+		if !IsKPlex(g, all, k) {
+			t.Errorf("k=%d: two disjoint %d-cliques should form a k-plex of size %d",
+				k, size, 2*size)
+		}
+		if _, comps := graph.ConnectedComponents(g); k >= 3 && comps != 2 {
+			t.Errorf("k=%d: expected 2 components, got %d", k, comps)
+		}
+	}
+}
+
+// Theorem 3.3: with q >= 2k-1, every emitted plex has induced diameter at
+// most 2 (and in particular is connected).
+func TestEmittedPlexesHaveDiameterTwo(t *testing.T) {
+	g := gen.Planted(gen.PlantedConfig{
+		N: 120, BackgroundP: 0.03, Communities: 6, CommSize: 10,
+		DropPerV: 2, Overlap: 2, Seed: 31,
+	})
+	for _, k := range []int{2, 3} {
+		q := 2*k - 1
+		var plexes [][]int
+		opts := NewOptions(k, q)
+		opts.OnPlex = func(p []int) { plexes = append(plexes, append([]int(nil), p...)) }
+		if _, err := Run(context.Background(), g, opts); err != nil {
+			t.Fatal(err)
+		}
+		if len(plexes) == 0 {
+			t.Fatalf("k=%d: no plexes found", k)
+		}
+		for _, p := range plexes {
+			if d := graph.InducedDiameter(g, p); d > 2 || d < 0 {
+				t.Errorf("k=%d: plex %v has induced diameter %d, want <= 2", k, p, d)
+			}
+		}
+	}
+}
+
+// Theorem 3.5: enumerating the (q-k)-core reduction of g by hand gives the
+// same counts as enumerating g (Run applies the reduction internally, so
+// this checks idempotence of the reduction path).
+func TestTheorem35CoreReductionPreservesResults(t *testing.T) {
+	g := gen.ChungLu(300, 10, 2.3, 32)
+	k, q := 2, 8
+	want, err := Run(context.Background(), g, NewOptions(k, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, origID := graph.KCore(g, q-k)
+	res, err := Run(context.Background(), core, NewOptions(k, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want.Count {
+		t.Errorf("core-reduced count %d != direct count %d", res.Count, want.Count)
+	}
+	_ = origID
+}

@@ -1,0 +1,125 @@
+package kplex_test
+
+// Tests that re-verify the paper's structural theorems on the enumerator's
+// real output rather than trusting the derivations: Theorem 3.3 (diameter),
+// Theorem 5.1 (second-order property) and Theorem 3.2 (hereditariness is
+// covered in quick_test.go).
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kplex"
+)
+
+func emittedPlexes(t *testing.T, g *graph.Graph, k, q, cap int) [][]int {
+	t.Helper()
+	var out [][]int
+	opts := kplex.NewOptions(k, q)
+	opts.OnPlex = func(p []int) {
+		if len(out) < cap {
+			out = append(out, append([]int(nil), p...))
+		}
+	}
+	if _, err := kplex.Run(context.Background(), g, opts); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTheorem33DiameterAtMostTwo: every k-plex with |P| >= 2k-1 is
+// connected with diameter <= 2.
+func TestTheorem33DiameterAtMostTwo(t *testing.T) {
+	g := gen.ChungLu(600, 16, 2.25, 61)
+	for _, kc := range []struct{ k, q int }{{2, 6}, {3, 8}, {4, 10}} {
+		plexes := emittedPlexes(t, g, kc.k, kc.q, 300)
+		if len(plexes) == 0 {
+			continue
+		}
+		for _, p := range plexes {
+			d := graph.InducedDiameter(g, p)
+			if d == -1 {
+				t.Fatalf("k=%d q=%d: plex %v is disconnected", kc.k, kc.q, p)
+			}
+			if d > 2 {
+				t.Fatalf("k=%d q=%d: plex %v has diameter %d > 2", kc.k, kc.q, p, d)
+			}
+		}
+	}
+}
+
+// TestTheorem51SecondOrderProperty: for any two members of an emitted plex
+// P with |P| >= q, non-adjacent pairs share >= q-2k+2 common neighbours
+// inside P and adjacent pairs share >= q-2k (thresholds clamp at zero).
+func TestTheorem51SecondOrderProperty(t *testing.T) {
+	g := gen.ChungLu(600, 16, 2.25, 62)
+	for _, kc := range []struct{ k, q int }{{2, 7}, {3, 9}} {
+		plexes := emittedPlexes(t, g, kc.k, kc.q, 150)
+		for _, p := range plexes {
+			in := make(map[int]bool, len(p))
+			for _, v := range p {
+				in[v] = true
+			}
+			commonInP := func(u, v int) int {
+				c := 0
+				for _, w := range g.Neighbors(u) {
+					if in[int(w)] && g.HasEdge(v, int(w)) {
+						c++
+					}
+				}
+				return c
+			}
+			for i, u := range p {
+				for _, v := range p[i+1:] {
+					cn := commonInP(u, v)
+					thr := len(p) - 2*kc.k // adjacent case, using |P| >= q
+					if !g.HasEdge(u, v) {
+						thr = len(p) - 2*kc.k + 2
+					}
+					if thr > 0 && cn < thr {
+						t.Fatalf("k=%d q=%d: pair (%d,%d) in %v has %d common members, theorem requires >= %d",
+							kc.k, kc.q, u, v, p, cn, thr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGammaConstants pins the branching-factor constants the paper quotes
+// for Lemma 5.10 (γ1 ≈ 1.618, γ2 ≈ 1.839, γ3 ≈ 1.928): the largest real
+// root of x^{k+2} - 2x^{k+1} + 1 = 0.
+func TestGammaConstants(t *testing.T) {
+	root := func(k int) float64 {
+		f := func(x float64) float64 {
+			// x^{k+2} - 2x^{k+1} + 1
+			p := 1.0
+			for i := 0; i < k+1; i++ {
+				p *= x
+			}
+			return p*x - 2*p + 1
+		}
+		lo, hi := 1.0+1e-9, 2.0-1e-12
+		for i := 0; i < 200; i++ {
+			mid := (lo + hi) / 2
+			if f(mid) > 0 {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return (lo + hi) / 2
+	}
+	want := map[int]float64{1: 1.618, 2: 1.839, 3: 1.928}
+	for k, w := range want {
+		got := root(k)
+		if got < w-0.002 || got > w+0.002 {
+			t.Errorf("γ_%d = %.4f, paper says %.3f", k, got, w)
+		}
+		if got >= 2 {
+			t.Errorf("γ_%d = %.4f must be < 2", k, got)
+		}
+	}
+}

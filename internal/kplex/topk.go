@@ -1,0 +1,84 @@
+package kplex
+
+// Top-N retrieval of the largest maximal k-plexes. Community-detection
+// pipelines (the paper's motivating application) usually inspect only the
+// few largest structures, while the full enumeration can return billions;
+// this wrapper keeps a bounded min-heap over the stream of results so
+// memory stays O(N * plex size) regardless of the result-set size.
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// plexHeap is a min-heap on (size, lexicographic order), so the root is
+// always the weakest member and eviction is O(log N).
+type plexHeap [][]int
+
+func (h plexHeap) Len() int { return len(h) }
+func (h plexHeap) Less(i, j int) bool {
+	if len(h[i]) != len(h[j]) {
+		return len(h[i]) < len(h[j])
+	}
+	return lexGreater(h[i], h[j]) // among equal sizes, evict the largest lexicographically
+}
+func (h plexHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *plexHeap) Push(x any)   { *h = append(*h, x.([]int)) }
+func (h *plexHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func lexGreater(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+	}
+	return len(a) > len(b)
+}
+
+// EnumerateTopK returns the topN largest maximal k-plexes with at least q
+// vertices, sorted by decreasing size (ties by ascending vertex sequence).
+// The run uses opts as given except for OnPlex, which EnumerateTopK owns;
+// the returned Result carries the full enumeration counters (Count is the
+// total number of maximal k-plexes seen, not topN).
+func EnumerateTopK(ctx context.Context, g *graph.Graph, opts Options, topN int) ([][]int, Result, error) {
+	if topN < 1 {
+		return nil, Result{}, fmt.Errorf("kplex: topN must be >= 1, got %d", topN)
+	}
+	h := make(plexHeap, 0, topN)
+	var mu sync.Mutex
+	opts.OnPlex = func(p []int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(h) < topN {
+			heap.Push(&h, append([]int(nil), p...))
+			return
+		}
+		if len(p) > len(h[0]) || (len(p) == len(h[0]) && lexGreater(h[0], p)) {
+			h[0] = append([]int(nil), p...)
+			heap.Fix(&h, 0)
+		}
+	}
+	res, err := Run(ctx, g, opts)
+	if err != nil {
+		return nil, res, err
+	}
+	out := [][]int(h)
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return lexGreater(out[j], out[i])
+	})
+	return out, res, nil
+}

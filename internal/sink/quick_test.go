@@ -1,0 +1,75 @@
+package sink
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Any set of sorted vertex lists survives both formats bit-for-bit.
+func TestQuickRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		want := randomPlexes(rng, 1+rng.Intn(80))
+
+		var tb bytes.Buffer
+		tw := NewTextWriter(&tb)
+		for _, p := range want {
+			if tw.Write(p) != nil {
+				return false
+			}
+		}
+		if tw.Close() != nil {
+			return false
+		}
+		gotT, err := ReadAll(&tb)
+		if err != nil || !Equal(gotT, want) {
+			return false
+		}
+
+		var bb bytes.Buffer
+		bw, err := NewBinaryWriter(&bb)
+		if err != nil {
+			return false
+		}
+		for _, p := range want {
+			if bw.Write(p) != nil {
+				return false
+			}
+		}
+		if bw.Close() != nil {
+			return false
+		}
+		gotB, err := ReadAll(&bb)
+		return err == nil && Equal(gotB, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Equal is an equivalence relation on shuffles: any permutation of a result
+// set compares equal, and changing one vertex breaks equality.
+func TestQuickEqualUnderPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPlexes(rng, 2+rng.Intn(40))
+		b := make([][]int, len(a))
+		copy(b, a)
+		rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		if !Equal(a, b) {
+			return false
+		}
+		// Mutate one entry of one plex.
+		c := make([][]int, len(a))
+		for i, p := range a {
+			c[i] = append([]int(nil), p...)
+		}
+		c[rng.Intn(len(c))][0] += 1000000
+		return !Equal(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package sink
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/kplex"
+)
+
+// Report summarises the verification of a result set against a graph.
+type Report struct {
+	Total      int
+	MinSize    int // smallest plex seen (0 when empty)
+	MaxSize    int
+	Duplicates int
+	NotSorted  int // plexes whose vertex list is not strictly ascending
+	NotKPlex   int
+	NotMaximal int
+	TooSmall   int // below the q threshold
+	OutOfRange int // vertex id outside the graph
+}
+
+// OK reports whether the result set passed every check.
+func (r Report) OK() bool {
+	return r.Duplicates == 0 && r.NotSorted == 0 && r.NotKPlex == 0 &&
+		r.NotMaximal == 0 && r.TooSmall == 0 && r.OutOfRange == 0
+}
+
+// String renders the report as a short human-readable summary.
+func (r Report) String() string {
+	status := "OK"
+	if !r.OK() {
+		status = "FAILED"
+	}
+	return fmt.Sprintf(
+		"%s: %d plexes (sizes %d..%d), dup=%d unsorted=%d non-kplex=%d non-maximal=%d small=%d out-of-range=%d",
+		status, r.Total, r.MinSize, r.MaxSize, r.Duplicates, r.NotSorted,
+		r.NotKPlex, r.NotMaximal, r.TooSmall, r.OutOfRange)
+}
+
+// Verify checks every plex in the result set against g: vertex ids in
+// range, strictly ascending, at least q vertices, a k-plex, maximal, and
+// globally duplicate-free.
+func Verify(g *graph.Graph, plexes [][]int, k, q int) Report {
+	rep := Report{Total: len(plexes)}
+	seen := make(map[string]bool, len(plexes))
+	for _, p := range plexes {
+		if rep.MinSize == 0 || len(p) < rep.MinSize {
+			rep.MinSize = len(p)
+		}
+		if len(p) > rep.MaxSize {
+			rep.MaxSize = len(p)
+		}
+		bad := false
+		for i, v := range p {
+			if v < 0 || v >= g.N() {
+				rep.OutOfRange++
+				bad = true
+				break
+			}
+			if i > 0 && p[i-1] >= v {
+				rep.NotSorted++
+				bad = true
+				break
+			}
+		}
+		if bad {
+			continue
+		}
+		key := Key(p)
+		if seen[key] {
+			rep.Duplicates++
+			continue
+		}
+		seen[key] = true
+		if len(p) < q {
+			rep.TooSmall++
+		}
+		switch {
+		case !kplex.IsKPlex(g, p, k):
+			rep.NotKPlex++
+		case !kplex.IsMaximalKPlex(g, p, k):
+			rep.NotMaximal++
+		}
+	}
+	return rep
+}
