@@ -41,6 +41,7 @@ func main() {
 		q       = flag.Int("q", 0, "minimum k-plex size (default 2k-1)")
 		threads = flag.Int("threads", 1, "worker threads")
 		timeout = flag.Duration("timeout", 0, "task-split timeout τ_time for parallel runs (e.g. 100us; 0 = off)")
+		sched   = flag.String("sched", "stages", "parallel scheduler: stages | global | steal")
 		algo    = flag.String("algo", "ours", "algorithm: ours | ours_p | basic | listplex | fp")
 		doPrint = flag.Bool("print", false, "print every maximal k-plex (one per line)")
 		outPath = flag.String("o", "", "stream results to this file (.bin suffix = binary format)")
@@ -82,6 +83,16 @@ func main() {
 	}
 	opts.Threads = *threads
 	opts.TaskTimeout = *timeout
+	switch *sched {
+	case "stages":
+		opts.Scheduler = kplex.SchedulerStages
+	case "global":
+		opts.Scheduler = kplex.SchedulerGlobalQueue
+	case "steal":
+		opts.Scheduler = kplex.SchedulerSteal
+	default:
+		fatal(fmt.Errorf("unknown -sched %q (have stages, global, steal)", *sched))
+	}
 
 	var mu sync.Mutex
 	out := bufio.NewWriter(os.Stdout)
@@ -156,8 +167,8 @@ func main() {
 		res.Count, *k, *q, res.Elapsed)
 	if *stats {
 		st := res.Stats
-		fmt.Fprintf(os.Stderr, "seeds=%d tasks=%d tasksPrunedR1=%d branches=%d ubPruned=%d collapses=%d repicks=%d splits=%d\n",
-			st.Seeds, st.Tasks, st.TasksPrunedR1, st.Branches, st.UBPruned, st.Collapses, st.Repicks, st.Splits)
+		fmt.Fprintf(os.Stderr, "seeds=%d tasks=%d tasksPrunedR1=%d branches=%d ubPruned=%d collapses=%d repicks=%d splits=%d steals=%d stealMisses=%d\n",
+			st.Seeds, st.Tasks, st.TasksPrunedR1, st.Branches, st.UBPruned, st.Collapses, st.Repicks, st.Splits, st.Steals, st.StealMisses)
 	}
 }
 

@@ -2,8 +2,9 @@
 // a few huge seed subgraphs (planted overlapping communities) creates
 // straggler tasks that serialise a naive parallel run. The example sweeps
 // the τ_time task-split threshold, prints the split counts alongside the
-// wall-clock times, and contrasts the paper's stage-based work-stealing
-// scheduler with the single-global-queue strawman.
+// wall-clock times, and contrasts the paper's stage-based scheduler with
+// the single-global-queue strawman and the barrier-free work-stealing
+// scheduler (SchedulerSteal).
 package main
 
 import (
@@ -40,8 +41,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-26s %8.3fs  count=%d tasks=%d splits=%d\n",
-			label, res.Elapsed.Seconds(), res.Count, res.Stats.Tasks, res.Stats.Splits)
+		fmt.Printf("  %-26s %8.3fs  count=%d tasks=%d splits=%d steals=%d\n",
+			label, res.Elapsed.Seconds(), res.Count, res.Stats.Tasks,
+			res.Stats.Splits, res.Stats.Steals)
 	}
 
 	fmt.Println("τ_time sweep (stage scheduler):")
@@ -53,6 +55,7 @@ func main() {
 	}
 
 	fmt.Println("scheduler comparison (τ=0.1ms, the paper's default):")
-	run("stages + work stealing", 100*time.Microsecond, kplex.SchedulerStages)
+	run("stage barriers", 100*time.Microsecond, kplex.SchedulerStages)
 	run("single global queue", 100*time.Microsecond, kplex.SchedulerGlobal)
+	run("work stealing (steal-half)", 100*time.Microsecond, kplex.SchedulerSteal)
 }

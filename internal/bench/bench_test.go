@@ -37,7 +37,7 @@ func TestSuiteWellFormed(t *testing.T) {
 	if len(Names()) != len(Suite()) {
 		t.Fatal("Names() length mismatch")
 	}
-	if len(ByClass(Small))+len(ByClass(Medium))+len(ByClass(Large)) != len(Suite()) {
+	if len(ByClass(Small))+len(ByClass(Medium))+len(ByClass(Large))+len(ByClass(Stress)) != len(Suite()) {
 		t.Fatal("classes do not partition the suite")
 	}
 }
@@ -68,6 +68,16 @@ func TestAlgoFamilies(t *testing.T) {
 			if err := o.Validate(); err != nil {
 				t.Fatalf("%s options invalid: %v", a.Name, err)
 			}
+		}
+	}
+	if got := len(SchedulerVariants()); got != 3 {
+		t.Fatalf("SchedulerVariants = %d, want 3", got)
+	}
+	for _, v := range SchedulerVariants() {
+		o := kplex.NewOptions(2, 8)
+		o.Scheduler = v.Style
+		if err := o.Validate(); err != nil {
+			t.Fatalf("scheduler %s options invalid: %v", v.Name, err)
 		}
 	}
 }

@@ -21,6 +21,10 @@ const (
 	Small  Class = "small"
 	Medium Class = "medium"
 	Large  Class = "large"
+	// Stress marks workloads built for a specific stress scenario rather
+	// than a paper dataset; they are excluded from the paper-reproduction
+	// tables and figures and picked up by name where needed.
+	Stress Class = "stress"
 )
 
 // Dataset is a named synthetic graph. Build is deterministic (fixed seed),
@@ -136,6 +140,20 @@ func Suite() []Dataset {
 			Name: "webbase-syn", Class: Large, Analog: "webbase-2001",
 			Build:  func() *graph.Graph { return gen.ChungLu(40000, 12, 2.35, 116) },
 			Params: []KQ{{2, 16}, {3, 30}},
+		},
+		{
+			// Overlapping planted communities of very different local
+			// density: a few seeds own almost all of the search tree, the
+			// worst case for the stage barrier and the workload the
+			// scheduler ablation (TableScheduler) is built around.
+			Name: "straggler-syn", Class: Stress, Analog: "straggler stress",
+			Build: func() *graph.Graph {
+				return gen.Planted(gen.PlantedConfig{
+					N: 3000, BackgroundP: 0.002, Communities: 30,
+					CommSize: 24, DropPerV: 2, Overlap: 6, Seed: 11,
+				})
+			},
+			Params: []KQ{{3, 9}, {2, 8}},
 		},
 	}
 }

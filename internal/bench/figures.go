@@ -67,7 +67,10 @@ func (c *Config) Figure7() error {
 }
 
 // Figure8 prints the parallel speedup series (paper Figure 8): Ours with
-// 1, 2, 4, 8 and min(16, GOMAXPROCS) threads on the large datasets.
+// 1, 2, 4, 8 and min(16, GOMAXPROCS) threads on the large datasets, with
+// one time column per scheduler (the scheduler-ablation extension) and the
+// speedup of the best scheduler at each thread count over the one-thread
+// run.
 func (c *Config) Figure8() error {
 	maxT := c.threads()
 	threadSteps := []int{1, 2, 4, 8, 16}
@@ -80,11 +83,12 @@ func (c *Config) Figure8() error {
 	if len(steps) == 0 {
 		steps = []int{1}
 	}
+	variants := SchedulerVariants()
 	ds := ByClass(Large)
 	if c.Quick {
 		ds = ds[:1]
 	}
-	c.printf("Figure 8 — Speedup of parallel Ours\n")
+	c.printf("Figure 8 — Speedup of parallel Ours per scheduler\n")
 	for _, d := range ds {
 		g := d.Build()
 		params := d.Params
@@ -93,23 +97,52 @@ func (c *Config) Figure8() error {
 		}
 		for _, kq := range params {
 			c.printf("# %s (k=%d, q=%d)\n", d.Name, kq.K, kq.Q)
-			c.printf("%8s %10s %8s\n", "threads", "time(s)", "speedup")
+			c.printf("%8s", "threads")
+			for _, v := range variants {
+				c.printf(" %10s", v.Name)
+			}
+			c.printf(" %8s\n", "speedup")
 			var base time.Duration
+			var count int64 = -1
 			for _, th := range steps {
-				opts := kplex.NewOptions(kq.K, kq.Q)
-				opts.Threads = th
-				if th > 1 {
-					opts.TaskTimeout = 100 * time.Microsecond
-				}
-				m, err := Run(g, opts)
-				if err != nil {
-					return fmt.Errorf("figure8 %s t=%d: %w", d.Name, th, err)
+				best := time.Duration(1<<63 - 1)
+				times := make([]time.Duration, len(variants))
+				for i, v := range variants {
+					if th == 1 && i > 0 {
+						// One thread with no splitting runs the sequential
+						// path whatever the scheduler; reuse the measurement.
+						times[i] = times[0]
+						continue
+					}
+					opts := kplex.NewOptions(kq.K, kq.Q)
+					opts.Threads = th
+					opts.Scheduler = v.Style
+					if th > 1 {
+						opts.TaskTimeout = 100 * time.Microsecond
+					}
+					m, err := Run(g, opts)
+					if err != nil {
+						return fmt.Errorf("figure8 %s t=%d %s: %w", d.Name, th, v.Name, err)
+					}
+					if count == -1 {
+						count = m.Count
+					} else if m.Count != count {
+						return fmt.Errorf("figure8 %s t=%d %s: count %d, want %d",
+							d.Name, th, v.Name, m.Count, count)
+					}
+					times[i] = m.Elapsed
+					if m.Elapsed < best {
+						best = m.Elapsed
+					}
 				}
 				if th == 1 {
-					base = m.Elapsed
+					base = times[0] // one-thread stage run, the paper's baseline
 				}
-				sp := float64(base) / float64(m.Elapsed)
-				c.printf("%8d %10s %8.2f\n", th, FormatDuration(m.Elapsed), sp)
+				c.printf("%8d", th)
+				for _, t := range times {
+					c.printf(" %10s", FormatDuration(t))
+				}
+				c.printf(" %8.2f\n", float64(base)/float64(best))
 			}
 		}
 	}

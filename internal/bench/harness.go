@@ -69,6 +69,24 @@ func AblationRuleAlgos() []Algo {
 	}
 }
 
+// SchedulerVariant names one parallel work-distribution scheme of the
+// scheduler ablation (TableScheduler, Figure8).
+type SchedulerVariant struct {
+	Name  string
+	Style kplex.SchedulerStyle
+}
+
+// SchedulerVariants returns the scheduler ablation grid in display order:
+// the paper's stage scheme, the global-queue strawman, and the
+// work-stealing extension.
+func SchedulerVariants() []SchedulerVariant {
+	return []SchedulerVariant{
+		{"stages", kplex.SchedulerStages},
+		{"global", kplex.SchedulerGlobalQueue},
+		{"steal", kplex.SchedulerSteal},
+	}
+}
+
 // Measurement is one timed enumeration.
 type Measurement struct {
 	Count    int64

@@ -79,27 +79,34 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	n, m := int(n64), int(m64)
 
+	// Pre-allocation is capped: the header's edge count is untrusted, and a
+	// crafted m near the plausibility bound would demand terabytes here. The
+	// builder grows on demand, so honest large graphs still load.
 	var b Builder
-	b.Grow(m)
+	b.Grow(min(m, maxPreallocEdges))
 	total := 0
 	for v := 0; v < n; v++ {
 		cnt, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("graph: vertex %d adjacency length: %w", v, err)
 		}
-		if total += int(cnt); total > m {
+		// Compare in uint64: a huge cnt must not wrap the int accumulator.
+		if cnt > uint64(m-total) {
 			return nil, fmt.Errorf("graph: adjacency overruns declared edge count %d", m)
 		}
+		total += int(cnt)
 		prev := uint64(v)
 		for i := uint64(0); i < cnt; i++ {
 			delta, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("graph: vertex %d edge %d: %w", v, i, err)
 			}
-			prev += delta
-			if prev >= uint64(n) {
-				return nil, fmt.Errorf("graph: vertex %d has neighbour %d out of range", v, prev)
+			// Compare before adding: a huge delta must not wrap prev back
+			// into range. prev < n holds here, so n-prev cannot underflow.
+			if delta >= uint64(n)-prev {
+				return nil, fmt.Errorf("graph: vertex %d has neighbour %d out of range", v, prev+delta)
 			}
+			prev += delta
 			b.AddEdge(v, int(prev))
 		}
 	}

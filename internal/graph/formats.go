@@ -16,6 +16,20 @@ import (
 	"strings"
 )
 
+// maxDeclaredVertices caps header-declared vertex counts in the DIMACS and
+// MatrixMarket parsers. Unlike METIS (one line per vertex) and the binary
+// format (one varint per vertex), these formats let a few header bytes
+// demand an O(n) CSR allocation before any edge data backs it up — a
+// crafted "p edge 9e18 0" line would panic makeslice. 2^24 vertices is far
+// beyond every dataset in this repo; larger graphs should use the
+// edge-list or binary formats, whose memory is proportional to the input.
+const maxDeclaredVertices = 1 << 24
+
+// maxPreallocEdges caps how many header-declared edges the parsers
+// pre-allocate for. Purely an optimisation bound: the builders grow on
+// demand, so larger (honest) inputs still parse.
+const maxPreallocEdges = 1 << 20
+
 // ReadDIMACS parses the DIMACS clique format:
 //
 //	c comment
@@ -52,6 +66,9 @@ func ReadDIMACS(r io.Reader) (*Graph, error) {
 			n, err = strconv.Atoi(fields[2])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("graph: dimacs line %d: bad vertex count %q", lineNo, fields[2])
+			}
+			if n > maxDeclaredVertices {
+				return nil, fmt.Errorf("graph: dimacs line %d: vertex count %d exceeds the %d cap", lineNo, n, maxDeclaredVertices)
 			}
 		case "e":
 			if n < 0 {
@@ -138,7 +155,7 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 		}
 	}
 	var b Builder
-	b.Grow(m)
+	b.Grow(min(m, maxPreallocEdges))
 	for v := 0; v < n; v++ {
 		// METIS requires exactly one line per vertex, but blank adjacency
 		// lines are legal for isolated vertices; the scanner above skips
@@ -228,8 +245,14 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 	if rows != cols {
 		return nil, fmt.Errorf("graph: matrixmarket: matrix is %dx%d, need square", rows, cols)
 	}
+	if rows < 0 || nnz < 0 {
+		return nil, fmt.Errorf("graph: matrixmarket: negative size %dx%d nnz=%d", rows, cols, nnz)
+	}
+	if rows > maxDeclaredVertices {
+		return nil, fmt.Errorf("graph: matrixmarket: %d rows exceeds the %d cap", rows, maxDeclaredVertices)
+	}
 	var b Builder
-	b.Grow(nnz)
+	b.Grow(min(nnz, maxPreallocEdges))
 	seen := 0
 	for sc.Scan() && seen < nnz {
 		line := strings.TrimSpace(sc.Text())

@@ -18,9 +18,10 @@ type engine struct {
 	g       *graph.Graph // relabelled working graph
 	toInput []int32      // relabelled id -> input graph id
 
-	queues  []*taskQueue
-	pending atomic.Int64 // tasks pushed but not yet finished
-	seeding atomic.Int64 // workers still generating tasks this stage
+	queues  []*taskQueue  // stage / global-queue schedulers
+	deques  []*stealDeque // SchedulerSteal only (nil otherwise)
+	pending atomic.Int64  // tasks pushed but not yet finished
+	seeding atomic.Int64  // workers still generating tasks this stage
 	stop    atomic.Bool
 	buildMu sync.Mutex // used only with Options.SerializeSeedBuild
 }
@@ -70,6 +71,8 @@ func Run(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
 		stats = e.runSequential(ctx)
 	case opts.Scheduler == SchedulerGlobalQueue:
 		stats = e.runGlobalQueue(ctx, threads)
+	case opts.Scheduler == SchedulerSteal:
+		stats = e.runSteal(ctx, threads)
 	default:
 		stats = e.runParallel(ctx, threads)
 	}
@@ -201,8 +204,13 @@ func (e *engine) drain(w *worker) {
 }
 
 // pushTask enqueues a timeout-split task on the worker's own queue (which
-// is the single shared queue under SchedulerGlobalQueue).
+// is the single shared queue under SchedulerGlobalQueue, and the worker's
+// bounded deque under SchedulerSteal).
 func (e *engine) pushTask(w *worker, t *task) {
+	if e.deques != nil {
+		e.enqueueLocal(w, t)
+		return
+	}
 	e.pending.Add(1)
 	e.queues[w.id].push(t)
 }

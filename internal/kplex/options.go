@@ -113,6 +113,13 @@ const (
 	// defeating the cache-locality argument of Section 6 and contending on
 	// a single lock.
 	SchedulerGlobalQueue
+	// SchedulerSteal is the barrier-free work-stealing scheme: per-worker
+	// bounded deques with LIFO local pops and batched FIFO steal-half from
+	// random victims, seeds claimed from a shared counter on demand. It
+	// keeps the stage scheme's cache locality (workers run their own seed's
+	// tasks back-to-front) while removing the stage barrier that leaves
+	// cores idle on straggler-heavy inputs. See steal.go.
+	SchedulerSteal
 )
 
 func (s SchedulerStyle) String() string {
@@ -121,6 +128,8 @@ func (s SchedulerStyle) String() string {
 		return "stages"
 	case SchedulerGlobalQueue:
 		return "global-queue"
+	case SchedulerSteal:
+		return "steal"
 	default:
 		return fmt.Sprintf("SchedulerStyle(%d)", int(s))
 	}
@@ -165,6 +174,11 @@ type Options struct {
 	// steal. Zero disables splitting (tasks run to completion), which is
 	// also the sequential default.
 	TaskTimeout time.Duration
+	// StealQueueBound caps each worker's deque under SchedulerSteal; when a
+	// deque is full the owner runs overflow tasks inline, bounding queued
+	// memory at Threads × StealQueueBound tasks. Zero means the default
+	// (4096); it has no effect under the other schedulers.
+	StealQueueBound int
 
 	// UseCTCP enables the kPlexS-style core-truss co-pruning preprocessing
 	// (see ReduceCTCP). Off by default — the paper's algorithm does not
@@ -218,6 +232,14 @@ func (o *Options) Validate() error {
 	if o.TaskTimeout < 0 {
 		return errors.New("kplex: TaskTimeout must be >= 0")
 	}
+	switch o.Scheduler {
+	case SchedulerStages, SchedulerGlobalQueue, SchedulerSteal:
+	default:
+		return fmt.Errorf("kplex: unknown Scheduler %d", int(o.Scheduler))
+	}
+	if o.StealQueueBound < 0 {
+		return errors.New("kplex: StealQueueBound must be >= 0")
+	}
 	return nil
 }
 
@@ -232,6 +254,8 @@ type Stats struct {
 	Collapses     int64 // subtrees closed by the P∪C k-plex shortcut (lines 11-14)
 	Repicks       int64 // pivots re-picked from C after landing in P (lines 15-16)
 	Splits        int64 // tasks materialised by the timeout mechanism
+	Steals        int64 // tasks transferred by steal-half batches (SchedulerSteal)
+	StealMisses   int64 // steal rounds that found every deque empty while tasks were in flight (SchedulerSteal)
 	Emitted       int64 // maximal k-plexes reported
 	MaxPlexSize   int64 // largest reported k-plex (0 when none)
 }
@@ -246,6 +270,8 @@ func (s *Stats) Add(other Stats) {
 	s.Collapses += other.Collapses
 	s.Repicks += other.Repicks
 	s.Splits += other.Splits
+	s.Steals += other.Steals
+	s.StealMisses += other.StealMisses
 	s.Emitted += other.Emitted
 	if other.MaxPlexSize > s.MaxPlexSize {
 		s.MaxPlexSize = other.MaxPlexSize

@@ -90,7 +90,11 @@ func TestPruningReducesWork(t *testing.T) {
 // TestOnPlexParallelDelivery checks that a synchronised callback sees
 // exactly Count plexes under heavy parallelism.
 func TestOnPlexParallelDelivery(t *testing.T) {
-	g := gen.ChungLu(1000, 18, 2.25, 35)
+	n := 1000
+	if testing.Short() {
+		n = 350
+	}
+	g := gen.ChungLu(n, 18, 2.25, 35)
 	opts := NewOptions(2, 8)
 	opts.Threads = 8
 	opts.TaskTimeout = 20 * time.Microsecond

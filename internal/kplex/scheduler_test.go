@@ -8,11 +8,146 @@ import (
 	"repro/internal/gen"
 )
 
-// Both schedulers must produce identical counts across thread counts and
-// timeout settings; the scheduler only changes who runs a task, never what
-// the task computes.
+// TestStealSchedulerBoundedDeque forces tiny deque bounds so the overflow
+// path (owner runs tasks inline) is exercised; results must be unaffected.
+func TestStealSchedulerBoundedDeque(t *testing.T) {
+	g := gen.ChungLu(400, 14, 2.2, 58)
+	const k, q = 2, 7
+	want := mustRun(t, g, NewOptions(k, q))
+	for _, bound := range []int{1, 2, 16} {
+		opts := NewOptions(k, q)
+		opts.Threads = 4
+		opts.TaskTimeout = time.Microsecond
+		opts.Scheduler = SchedulerSteal
+		opts.StealQueueBound = bound
+		res := mustRun(t, g, opts)
+		if res.Count != want.Count {
+			t.Errorf("bound=%d: count %d, want %d", bound, res.Count, want.Count)
+		}
+	}
+}
+
+// TestTryStealMovesHalf drives the steal mechanics deterministically: a
+// thief must take the oldest half of a victim's deque in one batch and
+// score the Steals counter, and a round over empty victims must come back
+// empty-handed.
+func TestTryStealMovesHalf(t *testing.T) {
+	e := &engine{}
+	e.deques = []*stealDeque{newStealDeque(16), newStealDeque(16)}
+	thief := &worker{id: 0, eng: e}
+	for i := 0; i < 4; i++ {
+		e.deques[1].push(&task{sizeP: i})
+	}
+	rng := stealRand(1)
+	loot := e.trySteal(thief, &rng, nil)
+	if len(loot) != 2 || loot[0].sizeP != 0 || loot[1].sizeP != 1 {
+		t.Fatalf("trySteal = %v, want the two oldest tasks", loot)
+	}
+	if thief.stats.Steals != 2 {
+		t.Fatalf("Steals = %d, want 2", thief.stats.Steals)
+	}
+	// Halving continues: 2 left → 1 stolen, 1 left → 1 stolen, then empty.
+	for _, want := range []int{1, 1, 0} {
+		if loot = e.trySteal(thief, &rng, nil); len(loot) != want {
+			t.Fatalf("round stole %d, want %d", len(loot), want)
+		}
+	}
+	if thief.stats.Steals != 4 {
+		t.Fatalf("Steals = %d, want 4", thief.stats.Steals)
+	}
+}
+
+// TestStealSchedulerCountersFire runs the steal scheduler on a
+// straggler-heavy workload and reports the counters. Whether tasks
+// actually migrate depends on host scheduling, so like the splits test
+// below this logs rather than asserts the counter values; correctness of
+// the count is still enforced by the differential tests.
+func TestStealSchedulerCountersFire(t *testing.T) {
+	n, comms := 800, 10
+	if testing.Short() {
+		n, comms = 300, 4
+	}
+	g := gen.Planted(gen.PlantedConfig{
+		N: n, BackgroundP: 0.004, Communities: comms, CommSize: 22,
+		DropPerV: 2, Overlap: 4, Seed: 57,
+	})
+	opts := NewOptions(3, 9)
+	opts.Threads = 4
+	opts.TaskTimeout = 20 * time.Microsecond
+	opts.Scheduler = SchedulerSteal
+	res, err := Run(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Steals == 0 {
+		t.Log("no steals observed; every worker stayed busy with its own seeds on this host")
+	}
+	t.Logf("steals=%d misses=%d splits=%d", res.Stats.Steals, res.Stats.StealMisses, res.Stats.Splits)
+}
+
+func TestStealSchedulerCancellation(t *testing.T) {
+	g := gen.ChungLu(3000, 25, 2.1, 56)
+	opts := NewOptions(3, 9)
+	opts.Threads = 4
+	opts.TaskTimeout = 50 * time.Microsecond
+	opts.Scheduler = SchedulerSteal
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := Run(ctx, g, opts)
+	if err == nil {
+		t.Skip("run finished before the deadline; nothing to assert")
+	}
+	if err != context.DeadlineExceeded {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestStealDequeOps(t *testing.T) {
+	d := newStealDeque(4)
+	mk := func(i int) *task { return &task{sizeP: i} }
+	for i := 0; i < 4; i++ {
+		if !d.push(mk(i)) {
+			t.Fatalf("push %d rejected below bound", i)
+		}
+	}
+	if d.push(mk(99)) {
+		t.Fatal("push accepted beyond bound")
+	}
+	if got := d.popBack(); got.sizeP != 3 {
+		t.Fatalf("popBack = %d, want 3", got.sizeP)
+	}
+	// 3 tasks left: steal-half takes the oldest 2, leaves {2}.
+	loot := d.stealHalf(nil, 100)
+	if len(loot) != 2 || loot[0].sizeP != 0 || loot[1].sizeP != 1 {
+		t.Fatalf("stealHalf = %v", loot)
+	}
+	if got := d.popBack(); got.sizeP != 2 {
+		t.Fatalf("popBack after steal = %d, want 2", got.sizeP)
+	}
+	if d.popBack() != nil {
+		t.Fatal("empty deque should return nil")
+	}
+	if loot := d.stealHalf(nil, 100); len(loot) != 0 {
+		t.Fatalf("stealHalf on empty deque = %v", loot)
+	}
+	// maxTake caps the transfer.
+	for i := 0; i < 4; i++ {
+		d.push(mk(i))
+	}
+	if loot := d.stealHalf(nil, 1); len(loot) != 1 || loot[0].sizeP != 0 {
+		t.Fatalf("capped stealHalf = %v", loot)
+	}
+}
+
+// Both legacy schedulers must produce identical counts across thread counts
+// and timeout settings; the scheduler only changes who runs a task, never
+// what the task computes.
 func TestGlobalQueueSchedulerMatchesStages(t *testing.T) {
-	g := gen.ChungLu(600, 16, 2.2, 55)
+	n := 600
+	if testing.Short() {
+		n = 250
+	}
+	g := gen.ChungLu(n, 16, 2.2, 55)
 	const k, q = 2, 8
 
 	want, err := Run(context.Background(), g, NewOptions(k, q))
@@ -63,6 +198,7 @@ func TestSchedulerStyleString(t *testing.T) {
 	cases := map[SchedulerStyle]string{
 		SchedulerStages:      "stages",
 		SchedulerGlobalQueue: "global-queue",
+		SchedulerSteal:       "steal",
 		SchedulerStyle(9):    "SchedulerStyle(9)",
 	}
 	for s, want := range cases {

@@ -1,0 +1,281 @@
+package kplex
+
+// SchedulerSteal: a classic work-stealing runtime for the enumeration
+// engine. Each worker owns a bounded deque; it pushes and pops at the back
+// (LIFO keeps the current seed subgraph cache-hot, exactly as the stage
+// scheme does) while thieves take from the front, where the oldest tasks —
+// the roots of the largest remaining subtrees — sit. Two things distinguish
+// it from runParallel's stage scheme:
+//
+//   - There are no stage barriers. Seeds are claimed from one shared atomic
+//     counter the moment a worker runs out of local work, so cores never
+//     idle waiting for the slowest seed of a stage to finish.
+//   - A thief transfers *half* of the victim's deque in one locked
+//     operation instead of one task per probe, amortising the
+//     synchronisation cost and giving the thief a private runway before it
+//     must steal again.
+//
+// Combined with the timeout task-splitting path (Options.TaskTimeout), a
+// worker that owns a straggler subtree continuously sheds its oldest
+// frontier into its deque where any idle worker can grab a batch. The deque
+// bound keeps memory proportional to threads × StealQueueBound tasks: on
+// overflow the owner simply runs the task inline instead of queueing it,
+// which is always safe (the task tree is finite) and restores the depth-
+// first memory profile of the sequential run.
+//
+// The scheduler decides only *who* runs a task, never what the task
+// computes, so the emitted plex set and count are identical to the other
+// schedulers' — the differential tests in scheduler_test.go pin this down.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultStealQueueBound is the per-worker deque capacity used when
+// Options.StealQueueBound is zero. At a few hundred bytes per queued task
+// this bounds queue memory at well under 10 MiB per worker.
+const defaultStealQueueBound = 4096
+
+// stealDeque is a mutex-guarded bounded deque owned by one worker. The
+// owner pushes and pops at the back; thieves remove batches from the front.
+// A mutex (rather than a lock-free Chase-Lev deque) is deliberate: tasks
+// here are coarse (one branch-and-bound subtree each), so the lock is cold,
+// and steal-half moves are far simpler to get right under a lock.
+type stealDeque struct {
+	mu    sync.Mutex
+	tasks []*task
+	bound int
+}
+
+func newStealDeque(bound int) *stealDeque {
+	return &stealDeque{bound: bound}
+}
+
+// push appends t at the back; it reports false when the deque is full, in
+// which case the caller must run t itself.
+func (d *stealDeque) push(t *task) bool {
+	d.mu.Lock()
+	if len(d.tasks) >= d.bound {
+		d.mu.Unlock()
+		return false
+	}
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+	return true
+}
+
+// popBack removes and returns the newest task, or nil when empty.
+func (d *stealDeque) popBack() *task {
+	d.mu.Lock()
+	n := len(d.tasks)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	d.mu.Unlock()
+	return t
+}
+
+// stealHalf removes the oldest ceil(n/2) tasks (capped at maxTake) and
+// appends them to dst, oldest first. The remaining tasks are compacted to
+// the front of the backing array so the deque's memory stays bounded.
+func (d *stealDeque) stealHalf(dst []*task, maxTake int) []*task {
+	d.mu.Lock()
+	n := len(d.tasks)
+	if n == 0 {
+		d.mu.Unlock()
+		return dst
+	}
+	k := (n + 1) / 2
+	if k > maxTake {
+		k = maxTake
+	}
+	dst = append(dst, d.tasks[:k]...)
+	m := copy(d.tasks, d.tasks[k:])
+	for i := m; i < n; i++ {
+		d.tasks[i] = nil
+	}
+	d.tasks = d.tasks[:m]
+	d.mu.Unlock()
+	return dst
+}
+
+// runSteal is the SchedulerSteal driver. Workers prefer (1) their own deque
+// back-to-front, then (2) a fresh seed from the shared counter, then (3)
+// stealing half of a random victim's frontier. Termination is detected from
+// three monotone conditions read in order: the seed counter is exhausted,
+// no worker is inside a seed-generation section, and no task is queued or
+// running.
+func (e *engine) runSteal(ctx context.Context, threads int) Stats {
+	done := watchContext(ctx, e)
+	defer done()
+
+	bound := e.opts.StealQueueBound
+	if bound <= 0 {
+		bound = defaultStealQueueBound
+	}
+	e.deques = make([]*stealDeque, threads)
+	workers := make([]*worker, threads)
+	for i := range workers {
+		e.deques[i] = newStealDeque(bound)
+		workers[i] = &worker{id: i, eng: e, splitting: e.opts.TaskTimeout > 0}
+	}
+
+	var nextSeed atomic.Int64
+	var wg sync.WaitGroup
+	for i := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			e.stealLoop(w, &nextSeed)
+		}(workers[i])
+	}
+	wg.Wait()
+
+	var total Stats
+	for _, w := range workers {
+		total.Add(w.stats)
+	}
+	return total
+}
+
+func (e *engine) stealLoop(w *worker, nextSeed *atomic.Int64) {
+	my := e.deques[w.id]
+	n := e.g.N()
+	rng := stealRand(uint64(w.id) + 1)
+	var loot []*task
+	idleSpins := 0
+	for !e.cancelled() {
+		if t := my.popBack(); t != nil {
+			w.runTask(t)
+			e.pending.Add(-1)
+			idleSpins = 0
+			continue
+		}
+
+		// Local deque empty: claim a fresh seed before stealing — building
+		// our own seed subgraph is cheaper than dragging someone else's
+		// working set across caches. The seeding count must rise before the
+		// claim so the termination check below cannot miss tasks this
+		// section is about to push. The Load fast path keeps idle spinners
+		// off the shared counters once seeds are exhausted (nextSeed is
+		// monotone, so a stale read only delays one claim by a round).
+		if nextSeed.Load() < int64(n) {
+			e.seeding.Add(1)
+			if s := int(nextSeed.Add(1)) - 1; s < n {
+				if e.opts.SerializeSeedBuild {
+					e.buildMu.Lock()
+				}
+				sg := buildSeedGraph(e.g, s, &e.opts)
+				if e.opts.SerializeSeedBuild {
+					e.buildMu.Unlock()
+				}
+				if sg != nil {
+					w.stats.Seeds++
+					e.generateTasks(w, sg, func(t *task) { e.enqueueLocal(w, t) })
+				}
+				e.seeding.Add(-1)
+				idleSpins = 0
+				continue
+			}
+			e.seeding.Add(-1)
+		}
+
+		// Seeds exhausted: raid a random victim for half its frontier.
+		loot = e.trySteal(w, &rng, loot[:0])
+		if len(loot) > 0 {
+			for _, t := range loot[1:] {
+				if !my.push(t) {
+					w.runTask(t)
+					e.pending.Add(-1)
+				}
+			}
+			w.runTask(loot[0])
+			e.pending.Add(-1)
+			idleSpins = 0
+			continue
+		}
+		// A failed round only counts as a miss when work was actually in
+		// flight somewhere — otherwise the counter would just measure how
+		// long the idle spin-wait below lasted.
+		if e.pending.Load() > 0 {
+			w.stats.StealMisses++
+		}
+
+		// Nothing anywhere. The read order matters (see the proof sketch in
+		// runSteal's comment): seeds first, then seeding, then pending.
+		if nextSeed.Load() >= int64(n) && e.seeding.Load() == 0 && e.pending.Load() == 0 {
+			return
+		}
+		idleSpins++
+		if idleSpins > 64 {
+			time.Sleep(20 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// trySteal probes the other deques in a random rotation and moves half of
+// the first non-empty victim's oldest tasks into dst, counting the
+// transferred tasks as Steals. The caller scores failed rounds.
+func (e *engine) trySteal(w *worker, rng *uint64, dst []*task) []*task {
+	nq := len(e.deques)
+	if nq < 2 {
+		return dst
+	}
+	my := e.deques[w.id]
+	start := int(nextRand(rng) % uint64(nq))
+	for i := 0; i < nq; i++ {
+		v := (start + i) % nq
+		if v == w.id {
+			continue
+		}
+		dst = e.deques[v].stealHalf(dst, my.bound)
+		if len(dst) > 0 {
+			w.stats.Steals += int64(len(dst))
+			return dst
+		}
+	}
+	return dst
+}
+
+// enqueueLocal queues t on the worker's own deque, falling back to running
+// it inline when the deque is at its bound. The inline path resets the
+// task-timeout clock via runTask, so an overflowing straggler keeps making
+// progress depth-first rather than hammering the full deque.
+//
+// pending must rise BEFORE the push makes t stealable: a thief could
+// otherwise run t and decrement pending past this task's never-made
+// increment, letting the termination check see zero while work is still
+// running and sending idle workers home early.
+func (e *engine) enqueueLocal(w *worker, t *task) {
+	e.pending.Add(1)
+	if e.deques[w.id].push(t) {
+		return
+	}
+	w.runTask(t)
+	e.pending.Add(-1)
+}
+
+// stealRand seeds a splitmix64 stream; distinct worker ids give distinct,
+// well-mixed victim rotations without any shared RNG state.
+func stealRand(seed uint64) uint64 {
+	return seed * 0x9E3779B97F4A7C15
+}
+
+// nextRand advances the splitmix64 state and returns the next value.
+func nextRand(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -73,6 +73,7 @@ const (
 	PartitionWhole2Hop = kplex.PartitionWhole2Hop
 	SchedulerStages    = kplex.SchedulerStages
 	SchedulerGlobal    = kplex.SchedulerGlobalQueue
+	SchedulerSteal     = kplex.SchedulerSteal
 )
 
 // Re-exported graph file formats (see ReadGraphFormatFile).
