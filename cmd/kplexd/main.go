@@ -1,0 +1,109 @@
+// Command kplexd is the k-plex query service: a long-running HTTP server
+// that keeps parsed graphs resident and answers enumeration queries with
+// result caching, singleflight batching of identical concurrent queries,
+// and incremental streaming of large result sets.
+//
+// Endpoints (see the README for full query shapes):
+//
+//	GET  /healthz          liveness
+//	GET  /stats            counters, cache and registry occupancy
+//	GET  /graphs           resident graphs
+//	POST /graphs           {"name": "g.txt"} — preload a graph
+//	DELETE /graphs/{name}  evict a resident graph
+//	POST /query            {"graph","k","q","mode",...} — count | topk | histogram | stream
+//	GET  /stream           stream query via URL parameters (NDJSON)
+//
+// Graph names are file paths under -data (any supported format,
+// auto-detected) or builtin corpus graphs ("corpus:planted-a", ...).
+//
+// Example:
+//
+//	kplexd -addr :8080 -data ./graphs &
+//	curl -s localhost:8080/query -d '{"graph":"corpus:planted-a","k":2,"q":6,"mode":"count"}'
+//	curl -sN 'localhost:8080/stream?graph=corpus:planted-a&k=2&q=6'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		dataDir      = flag.String("data", "", "directory graph files are served from (empty: corpus graphs only)")
+		maxGraphs    = flag.Int("max-graphs", 8, "resident graph cap (idle graphs beyond it are evicted LRU)")
+		cacheEntries = flag.Int("cache", 256, "result cache capacity (completed queries)")
+		maxConc      = flag.Int("max-concurrent", 0, "concurrent enumeration bound (0: NumCPU)")
+		admitWait    = flag.Duration("admission-timeout", 2*time.Second, "how long a query waits for a slot before 429")
+		queryBudget  = flag.Duration("query-timeout", 5*time.Minute, "time budget of one cacheable enumeration")
+		threads      = flag.Int("threads", 0, "default engine threads per query (0: NumCPU)")
+		maxK         = flag.Int("max-k", 8, "largest accepted k")
+		preload      = flag.String("preload", "", "comma-separated graph names to load at startup")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		DataDir:           *dataDir,
+		MaxResidentGraphs: *maxGraphs,
+		CacheEntries:      *cacheEntries,
+		MaxConcurrent:     *maxConc,
+		AdmissionTimeout:  *admitWait,
+		QueryTimeout:      *queryBudget,
+		DefaultThreads:    *threads,
+		MaxK:              *maxK,
+	})
+	defer srv.Close()
+
+	for _, name := range strings.Split(*preload, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		e, err := srv.Registry().Acquire(name)
+		if err != nil {
+			log.Fatalf("preload %q: %v", name, err)
+		}
+		log.Printf("preloaded %s: n=%d m=%d digest=%s", name, e.G.N(), e.G.M(), e.Digest[:12])
+		srv.Registry().Release(e)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting, drain handlers, cancel detached
+	// executions.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx) //nolint:errcheck
+		srv.Close()
+		close(idle)
+	}()
+
+	log.Printf("kplexd listening on %s (data=%q)", *addr, *dataDir)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	<-idle
+}

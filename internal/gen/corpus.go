@@ -1,0 +1,59 @@
+package gen
+
+import "repro/internal/graph"
+
+// CorpusGraph is one named, seeded graph of the regression corpus.
+type CorpusGraph struct {
+	Name  string
+	Build func() *graph.Graph
+}
+
+// Corpus returns the fixed set of seeded generator graphs shared by the
+// golden regression tests (internal/kplex/testdata/golden) and the serving
+// layer, which exposes each as the builtin graph "corpus:<name>". Entries
+// are append-only: changing a name, a generator, or a seed invalidates the
+// committed golden outputs, so add new entries instead of editing old ones.
+//
+// The mix is deliberate: planted communities guarantee large k-plexes
+// (the paper's motivating workload), SBM gives density contrast without
+// that guarantee, GNP exercises the bounds on a dense unstructured graph,
+// Barabási-Albert and Chung-Lu cover heavy-tailed degree distributions,
+// Watts-Strogatz covers high clustering, and a random regular graph is the
+// degenerate case where degree-based pruning is useless.
+func Corpus() []CorpusGraph {
+	return []CorpusGraph{
+		{"planted-a", func() *graph.Graph {
+			return Planted(PlantedConfig{
+				N: 120, BackgroundP: 0.02, Communities: 4, CommSize: 12,
+				DropPerV: 1, Overlap: 2, Seed: 41,
+			})
+		}},
+		{"planted-overlap", func() *graph.Graph {
+			return Planted(PlantedConfig{
+				N: 150, BackgroundP: 0.015, Communities: 6, CommSize: 10,
+				DropPerV: 2, Overlap: 3, Seed: 42,
+			})
+		}},
+		{"sbm-blocks", func() *graph.Graph {
+			return SBM(SBMConfig{
+				BlockSizes: []int{25, 30, 35}, PIn: 0.45, POut: 0.04, Seed: 43,
+			})
+		}},
+		{"gnp-dense", func() *graph.Graph { return GNP(70, 0.22, 44) }},
+		{"ba-hubs", func() *graph.Graph { return BarabasiAlbert(150, 6, 45) }},
+		{"chunglu-tail", func() *graph.Graph { return ChungLu(200, 12, 2.3, 46) }},
+		{"ws-ring", func() *graph.Graph { return WattsStrogatz(140, 10, 0.08, 47) }},
+		{"regular-flat", func() *graph.Graph { return RandomRegular(90, 10, 48) }},
+	}
+}
+
+// CorpusGraphByName returns the named corpus graph, or nil.
+func CorpusGraphByName(name string) *CorpusGraph {
+	for _, cg := range Corpus() {
+		if cg.Name == name {
+			cg := cg
+			return &cg
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ package gen
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -123,8 +124,15 @@ func WattsStrogatz(n, k int, beta float64, seed int64) *graph.Graph {
 }
 
 // RandomRegular returns a d-regular graph on n vertices via the pairing
-// model with restarts (n*d must be even; panics otherwise). For the small
-// d, n used in tests and benches a valid pairing is found quickly.
+// model (n*d must be even; panics otherwise). Instead of restarting the
+// whole pairing whenever a self-loop or duplicate edge appears — which
+// succeeds with probability ~exp(-(d²-1)/4) per attempt and effectively
+// never converges beyond d ≈ 6 — conflicting pairs are repaired locally:
+// each round re-shuffles the stubs of the bad pairs together with an equal
+// number of randomly chosen good pairs (the extra stubs break parity
+// deadlocks such as two identical duplicate pairs). The expected number of
+// conflicts shrinks geometrically, so any practical (n, d) converges in a
+// handful of rounds, deterministically for a fixed seed.
 func RandomRegular(n, d int, seed int64) *graph.Graph {
 	if n*d%2 != 0 {
 		panic("gen: regular: n*d must be even")
@@ -133,49 +141,72 @@ func RandomRegular(n, d int, seed int64) *graph.Graph {
 		panic("gen: regular: need d < n")
 	}
 	rng := rand.New(rand.NewSource(seed))
+	m := n * d / 2
 	stubs := make([]int, 0, n*d)
-	for restart := 0; ; restart++ {
-		stubs = stubs[:0]
-		for v := 0; v < n; v++ {
-			for i := 0; i < d; i++ {
-				stubs = append(stubs, v)
-			}
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
 		}
-		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
-		type edge struct{ u, v int }
-		seen := make(map[edge]bool, n*d/2)
-		ok := true
-		var b graph.Builder
-		b.Grow(n * d / 2)
-		for i := 0; i < len(stubs); i += 2 {
-			u, v := stubs[i], stubs[i+1]
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	// pairs[i] = (stubs[2i], stubs[2i+1]).
+	type edge struct{ u, v int }
+	seen := make(map[edge]bool, m)
+	var bad []int
+	for round := 0; round < 1000; round++ {
+		clear(seen)
+		bad = bad[:0]
+		for i := 0; i < m; i++ {
+			u, v := stubs[2*i], stubs[2*i+1]
 			if u == v {
-				ok = false
-				break
+				bad = append(bad, i)
+				continue
 			}
 			if u > v {
 				u, v = v, u
 			}
-			e := edge{u, v}
-			if seen[e] {
-				ok = false
-				break
+			if seen[edge{u, v}] {
+				bad = append(bad, i)
+				continue
 			}
-			seen[e] = true
-			b.AddEdge(u, v)
+			seen[edge{u, v}] = true
 		}
-		if !ok {
-			if restart > 10000 {
-				panic("gen: regular: pairing model failed to converge")
+		if len(bad) == 0 {
+			var b graph.Builder
+			b.Grow(m)
+			for i := 0; i < m; i++ {
+				b.AddEdge(stubs[2*i], stubs[2*i+1])
 			}
-			continue
+			g, err := b.Build(n)
+			if err != nil {
+				panic("gen: regular: " + err.Error())
+			}
+			return g
 		}
-		g, err := b.Build(n)
-		if err != nil {
-			panic("gen: regular: " + err.Error())
+		// Re-pair the bad pairs' stubs together with as many random good
+		// pairs' stubs, shuffled among themselves.
+		pick := make(map[int]bool, 2*len(bad))
+		for _, i := range bad {
+			pick[i] = true
 		}
-		return g
+		for len(pick) < 2*len(bad) && len(pick) < m {
+			pick[rng.Intn(m)] = true
+		}
+		idx := make([]int, 0, len(pick))
+		for i := range pick {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx) // map iteration order must not leak into the output
+		pool := make([]int, 0, 2*len(idx))
+		for _, i := range idx {
+			pool = append(pool, stubs[2*i], stubs[2*i+1])
+		}
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		for x, i := range idx {
+			stubs[2*i], stubs[2*i+1] = pool[2*x], pool[2*x+1]
+		}
 	}
+	panic("gen: regular: pairing model failed to converge")
 }
 
 // NoisyPlex returns a single k-plex "community" graph for tests: a clique

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Digest returns a SHA-256 over the graph's canonical CSR form: n, then
+// each vertex's sorted neighbour list delta-encoded as uvarints. Build
+// sorts and deduplicates every adjacency row, so two graphs with the same
+// vertex count and edge set digest identically no matter how (or in what
+// order) their edges were added. The serving layer keys result caches on
+// this digest, which is what lets the same graph registered under two
+// names — or reloaded from disk — share cached enumeration results.
+func Digest(g *Graph) [32]byte {
+	h := sha256.New()
+	var buf [2 * binary.MaxVarintLen64]byte
+	n := g.N()
+	w := binary.PutUvarint(buf[:], uint64(n))
+	h.Write(buf[:w])
+	for v := 0; v < n; v++ {
+		row := g.Neighbors(v)
+		w = binary.PutUvarint(buf[:], uint64(len(row)))
+		prev := int32(0)
+		for _, u := range row {
+			w += binary.PutUvarint(buf[w:], uint64(u-prev))
+			prev = u
+			if w >= binary.MaxVarintLen64 {
+				h.Write(buf[:w])
+				w = 0
+			}
+		}
+		h.Write(buf[:w])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// DigestHex returns Digest as a lowercase hex string.
+func DigestHex(g *Graph) string {
+	d := Digest(g)
+	return hex.EncodeToString(d[:])
+}

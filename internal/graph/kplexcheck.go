@@ -1,0 +1,81 @@
+package graph
+
+// k-plex predicates. These are pure graph properties — no search machinery
+// — so they live here rather than in the enumeration engine: both the
+// engine (internal/kplex) and the result tooling (internal/sink) verify
+// plexes against a graph, and keeping the predicates below both layers is
+// what lets sink stay free of an engine dependency (the engine streams
+// through sink.Stream, so an edge in the other direction would be a cycle).
+
+// IsKPlex reports whether the vertex set P is a k-plex of g: every member
+// has at least |P|-k neighbours inside P. The empty set and singletons are
+// k-plexes for every k >= 1.
+func IsKPlex(g *Graph, P []int, k int) bool {
+	if len(P) == 0 {
+		return true
+	}
+	in := make(map[int]bool, len(P))
+	for _, v := range P {
+		if v < 0 || v >= g.N() || in[v] {
+			return false // out of range or duplicate
+		}
+		in[v] = true
+	}
+	need := len(P) - k
+	for _, v := range P {
+		d := 0
+		for _, u := range g.Neighbors(v) {
+			if in[int(u)] {
+				d++
+			}
+		}
+		if d < need {
+			return false
+		}
+	}
+	return true
+}
+
+// CanExtendKPlex reports whether some vertex outside P can be added to P
+// while keeping it a k-plex. A k-plex is maximal iff this is false.
+func CanExtendKPlex(g *Graph, P []int, k int) bool {
+	in := make(map[int]bool, len(P))
+	for _, v := range P {
+		in[v] = true
+	}
+	// Candidate extenders must be adjacent to at least one member when
+	// |P| >= k+1 (otherwise their deficiency |P|+1-d > k). Scanning the
+	// union of neighbourhoods covers them; for tiny P scan everything.
+	tryVertex := func(x int) bool {
+		if in[x] {
+			return false
+		}
+		ext := append(append(make([]int, 0, len(P)+1), P...), x)
+		return IsKPlex(g, ext, k)
+	}
+	if len(P) > k {
+		seen := make(map[int]bool)
+		for _, v := range P {
+			for _, u := range g.Neighbors(v) {
+				if !seen[int(u)] {
+					seen[int(u)] = true
+					if tryVertex(int(u)) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for x := 0; x < g.N(); x++ {
+		if tryVertex(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsMaximalKPlex reports whether P is a k-plex that no vertex of g extends.
+func IsMaximalKPlex(g *Graph, P []int, k int) bool {
+	return IsKPlex(g, P, k) && !CanExtendKPlex(g, P, k)
+}

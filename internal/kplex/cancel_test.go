@@ -1,0 +1,100 @@
+package kplex
+
+// Context-cancellation coverage for the derived query APIs. Run itself has
+// cancellation tests in options_test.go; these pin down that EnumerateTopK
+// and SizeHistogram propagate deadlines the same way — in particular that
+// a context that is dead on arrival never starts the enumeration (Run's
+// synchronous pre-check; the asynchronous watcher alone used to let an
+// arbitrary prefix of the search execute first).
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+func TestEnumerateTopKPreCancelled(t *testing.T) {
+	g := gen.GNP(300, 0.25, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	top, res, err := EnumerateTopK(ctx, g, NewOptions(3, 6), 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(top) != 0 {
+		t.Errorf("pre-cancelled TopK returned %d plexes", len(top))
+	}
+	if res.Count != 0 {
+		t.Errorf("pre-cancelled TopK counted %d plexes", res.Count)
+	}
+}
+
+func TestEnumerateTopKDeadline(t *testing.T) {
+	g := gen.GNP(300, 0.25, 9)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	opts := NewOptions(3, 6)
+	opts.Threads = 4
+	opts.TaskTimeout = 100 * time.Microsecond
+	start := time.Now()
+	_, _, err := EnumerateTopK(ctx, g, opts, 5)
+	elapsed := time.Since(start)
+	if err == nil {
+		// Legitimate on a fast machine only if the run beat the deadline.
+		if elapsed > 10*time.Second {
+			t.Fatal("TopK ignored the context deadline")
+		}
+		return
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancelled TopK took %v", elapsed)
+	}
+}
+
+func TestSizeHistogramPreCancelled(t *testing.T) {
+	g := gen.GNP(300, 0.25, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	hist, res, err := SizeHistogram(ctx, g, NewOptions(3, 6))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(hist) != 0 || res.Count != 0 {
+		t.Errorf("pre-cancelled histogram: %d buckets, count %d", len(hist), res.Count)
+	}
+}
+
+func TestSizeHistogramDeadline(t *testing.T) {
+	g := gen.GNP(300, 0.25, 9)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	opts := NewOptions(3, 6)
+	opts.Threads = 4
+	opts.TaskTimeout = 100 * time.Microsecond
+	start := time.Now()
+	hist, res, err := SizeHistogram(ctx, g, opts)
+	elapsed := time.Since(start)
+	if err == nil {
+		if elapsed > 10*time.Second {
+			t.Fatal("histogram ignored the context deadline")
+		}
+		return
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// The partial histogram must stay consistent with the partial count.
+	var sum int64
+	for _, c := range hist {
+		sum += c
+	}
+	if sum != res.Count {
+		t.Errorf("partial histogram sums to %d, Result.Count=%d", sum, res.Count)
+	}
+}

@@ -36,6 +36,14 @@ func Run(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
+	// A context that is already dead must not start the run at all: the
+	// watcher below flips the stop flag asynchronously, which would let an
+	// arbitrary prefix of the enumeration execute before the first poll.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	start := time.Now()
 
 	// Optional kPlexS-style second-order reduction (vertex id space is
@@ -290,6 +298,12 @@ func (e *engine) runGlobalQueue(ctx context.Context, threads int) Stats {
 // called to release the watcher goroutine.
 func watchContext(ctx context.Context, e *engine) (cleanup func()) {
 	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	// Synchronous fast path: if ctx is already cancelled, set the flag
+	// before any worker starts instead of racing the watcher goroutine.
+	if ctx.Err() != nil {
+		e.stop.Store(true)
 		return func() {}
 	}
 	stop := make(chan struct{})

@@ -1,0 +1,146 @@
+package kplex
+
+// Golden regression corpus: exact enumeration outputs for the seeded
+// generator graphs of gen.Corpus(), committed under testdata/golden/ as
+// (count, max size, SHA-256 of the canonically sorted plex set). Future
+// performance refactors diff against these files — a pruning rule that
+// silently drops or duplicates plexes changes the hash even when the count
+// happens to survive.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/kplex -run TestGolden -update
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sink"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden enumeration outputs")
+
+// goldenCase is one (graph, k, q) cell of the corpus.
+type goldenCase struct {
+	Graph   string `json:"graph"`
+	K       int    `json:"k"`
+	Q       int    `json:"q"`
+	Count   int64  `json:"count"`
+	MaxSize int    `json:"maxSize"`
+	SHA256  string `json:"sha256"`
+}
+
+// goldenCombos returns the (k, q) pairs recorded for a corpus graph. The
+// defaults probe a moderate and a strict threshold; the overrides keep
+// every graph's cases non-trivial (the dense GNP and the random regular
+// graph have no large plexes at the default thresholds).
+func goldenCombos(name string) [][2]int {
+	switch name {
+	case "gnp-dense":
+		return [][2]int{{2, 6}, {3, 7}}
+	case "regular-flat":
+		return [][2]int{{2, 4}, {3, 6}}
+	default:
+		return [][2]int{{2, 6}, {3, 8}}
+	}
+}
+
+func goldenPath(c goldenCase) string {
+	return filepath.Join("testdata", "golden",
+		fmt.Sprintf("%s_k%d_q%d.json", c.Graph, c.K, c.Q))
+}
+
+// canonicalHash returns the SHA-256 of the result set in canonical order:
+// each plex ascending (the OnPlex contract), the set sorted by size
+// descending then lexicographically.
+func canonicalHash(plexes [][]int) string {
+	sink.SortPlexes(plexes)
+	h := sha256.New()
+	line := make([]byte, 0, 128)
+	for _, p := range plexes {
+		line = line[:0]
+		for i, v := range p {
+			if i > 0 {
+				line = append(line, ' ')
+			}
+			line = strconv.AppendInt(line, int64(v), 10)
+		}
+		line = append(line, '\n')
+		h.Write(line)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// enumerateGoldenCase runs the deterministic sequential enumeration for
+// one cell and fills in the measured fields.
+func enumerateGoldenCase(t *testing.T, cg gen.CorpusGraph, k, q int) goldenCase {
+	t.Helper()
+	g := cg.Build()
+	var plexes [][]int
+	opts := NewOptions(k, q)
+	opts.OnPlex = func(p []int) { plexes = append(plexes, append([]int(nil), p...)) }
+	res, err := Run(context.Background(), g, opts)
+	if err != nil {
+		t.Fatalf("%s k=%d q=%d: %v", cg.Name, k, q, err)
+	}
+	if int64(len(plexes)) != res.Count {
+		t.Fatalf("%s k=%d q=%d: collected %d plexes, Result.Count=%d",
+			cg.Name, k, q, len(plexes), res.Count)
+	}
+	return goldenCase{
+		Graph:   cg.Name,
+		K:       k,
+		Q:       q,
+		Count:   res.Count,
+		MaxSize: int(res.Stats.MaxPlexSize),
+		SHA256:  canonicalHash(plexes),
+	}
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, cg := range gen.Corpus() {
+		for _, kq := range goldenCombos(cg.Name) {
+			cg, k, q := cg, kq[0], kq[1]
+			t.Run(fmt.Sprintf("%s/k%d_q%d", cg.Name, k, q), func(t *testing.T) {
+				t.Parallel()
+				got := enumerateGoldenCase(t, cg, k, q)
+				path := goldenPath(got)
+				if *updateGolden {
+					data, err := json.MarshalIndent(got, "", "  ")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update to create): %v", err)
+				}
+				var want goldenCase
+				if err := json.Unmarshal(data, &want); err != nil {
+					t.Fatalf("corrupt golden file %s: %v", path, err)
+				}
+				if got != want {
+					t.Errorf("golden mismatch\n got: %+v\nwant: %+v", got, want)
+				}
+			})
+		}
+	}
+}

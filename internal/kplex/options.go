@@ -180,6 +180,12 @@ type Options struct {
 	// (4096); it has no effect under the other schedulers.
 	StealQueueBound int
 
+	// StreamBuffer is the result-channel capacity of the streaming path
+	// (RunStream / EnumerateStream): once this many plexes are queued and
+	// unread, enumeration workers block until the consumer catches up.
+	// Zero means DefaultStreamBuffer; it has no effect on Run.
+	StreamBuffer int
+
 	// UseCTCP enables the kPlexS-style core-truss co-pruning preprocessing
 	// (see ReduceCTCP). Off by default — the paper's algorithm does not
 	// use it; it is provided as the natural extension from the related
@@ -240,7 +246,28 @@ func (o *Options) Validate() error {
 	if o.StealQueueBound < 0 {
 		return errors.New("kplex: StealQueueBound must be >= 0")
 	}
+	if o.StreamBuffer < 0 {
+		return errors.New("kplex: StreamBuffer must be >= 0")
+	}
 	return nil
+}
+
+// ResultKey returns the canonical identity of the run's *result set*: the
+// parameters that determine which maximal k-plexes are reported, with
+// everything that only changes how the search is executed (bound style,
+// pruning rules, branching, partition, scheduler, threads, timeouts,
+// buffers) normalized away — the differential tests in this package pin
+// down that those knobs never change the result set. Result caches key on
+// (graph digest, ResultKey); two queries that differ only in execution
+// strategy share one cache entry.
+func (o *Options) ResultKey() string {
+	key := fmt.Sprintf("k=%d,q=%d", o.K, o.Q)
+	if o.FirstOnly {
+		// FirstOnly runs report an arbitrary nonempty prefix of the result
+		// set, so they are never interchangeable with full enumerations.
+		key += ",first-only"
+	}
+	return key
 }
 
 // Stats are cumulative search counters, useful for the ablation analysis and

@@ -2,75 +2,19 @@ package kplex
 
 import "repro/internal/graph"
 
+// The k-plex predicates moved to internal/graph (they are pure graph
+// properties, and internal/sink needs them without depending on the
+// engine). These wrappers keep the package's historical API for the many
+// tests and callers that verify enumeration output from here.
+
 // IsKPlex reports whether the vertex set P is a k-plex of g: every member
 // has at least |P|-k neighbours inside P. The empty set and singletons are
 // k-plexes for every k >= 1.
-func IsKPlex(g *graph.Graph, P []int, k int) bool {
-	if len(P) == 0 {
-		return true
-	}
-	in := make(map[int]bool, len(P))
-	for _, v := range P {
-		if v < 0 || v >= g.N() || in[v] {
-			return false // out of range or duplicate
-		}
-		in[v] = true
-	}
-	need := len(P) - k
-	for _, v := range P {
-		d := 0
-		for _, u := range g.Neighbors(v) {
-			if in[int(u)] {
-				d++
-			}
-		}
-		if d < need {
-			return false
-		}
-	}
-	return true
-}
+func IsKPlex(g *graph.Graph, P []int, k int) bool { return graph.IsKPlex(g, P, k) }
 
 // CanExtend reports whether some vertex outside P can be added to P while
 // keeping it a k-plex. A k-plex is maximal iff this is false.
-func CanExtend(g *graph.Graph, P []int, k int) bool {
-	in := make(map[int]bool, len(P))
-	for _, v := range P {
-		in[v] = true
-	}
-	// Candidate extenders must be adjacent to at least one member when
-	// |P| >= k+1 (otherwise their deficiency |P|+1-d > k). Scanning the
-	// union of neighbourhoods covers them; for tiny P scan everything.
-	tryVertex := func(x int) bool {
-		if in[x] {
-			return false
-		}
-		ext := append(append(make([]int, 0, len(P)+1), P...), x)
-		return IsKPlex(g, ext, k)
-	}
-	if len(P) > k {
-		seen := make(map[int]bool)
-		for _, v := range P {
-			for _, u := range g.Neighbors(v) {
-				if !seen[int(u)] {
-					seen[int(u)] = true
-					if tryVertex(int(u)) {
-						return true
-					}
-				}
-			}
-		}
-		return false
-	}
-	for x := 0; x < g.N(); x++ {
-		if tryVertex(x) {
-			return true
-		}
-	}
-	return false
-}
+func CanExtend(g *graph.Graph, P []int, k int) bool { return graph.CanExtendKPlex(g, P, k) }
 
 // IsMaximalKPlex reports whether P is a k-plex that no vertex of g extends.
-func IsMaximalKPlex(g *graph.Graph, P []int, k int) bool {
-	return IsKPlex(g, P, k) && !CanExtend(g, P, k)
-}
+func IsMaximalKPlex(g *graph.Graph, P []int, k int) bool { return graph.IsMaximalKPlex(g, P, k) }

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/kplex"
+)
+
+// queryResult is one completed cacheable query: everything needed to
+// answer an identical query again without touching the engine. It is
+// immutable once stored — handlers serialise it, never mutate it.
+type queryResult struct {
+	Mode       string
+	Count      int64
+	MaxSize    int
+	Elapsed    time.Duration // of the original execution
+	Stats      kplex.Stats
+	TopK       [][]int       // mode "topk" only
+	Histogram  map[int]int64 // mode "histogram" only
+	Digest     string
+	ComputedAt time.Time
+}
+
+// resultCache is a mutex-guarded LRU over completed query results, keyed
+// by (graph digest | normalized options | mode-specific parameters) — see
+// Server.cacheKey. Keying on the digest rather than the graph name means a
+// graph registered under two names, or evicted and reloaded from the same
+// file, keeps its cached results.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key string
+	val *queryResult
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result and marks it most recently used.
+func (c *resultCache) get(key string) (*queryResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+// put stores (or refreshes) a result, evicting the least recently used
+// entry beyond capacity.
+func (c *resultCache) put(key string, val *queryResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,411 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/kplex"
+)
+
+// queryRequest is the body of POST /query (and, field for field, the URL
+// parameters of GET /stream). Graph, K, Q and Mode are required; the rest
+// tune execution and never change the result set.
+type queryRequest struct {
+	Graph string `json:"graph"`
+	K     int    `json:"k"`
+	Q     int    `json:"q"`
+	// Mode is one of "count", "topk", "histogram", "stream".
+	Mode string `json:"mode"`
+	// TopN bounds a topk query (default 10).
+	TopN int `json:"topn,omitempty"`
+	// Threads overrides the engine parallelism (default Config.DefaultThreads).
+	Threads int `json:"threads,omitempty"`
+	// Scheduler is "stages", "global-queue" or "steal" (default stages).
+	Scheduler string `json:"scheduler,omitempty"`
+}
+
+// queryResponse is the body of a completed cacheable query.
+type queryResponse struct {
+	Graph     string        `json:"graph"`
+	Digest    string        `json:"digest"`
+	K         int           `json:"k"`
+	Q         int           `json:"q"`
+	Mode      string        `json:"mode"`
+	Count     int64         `json:"count"`
+	MaxSize   int           `json:"maxSize"`
+	ElapsedMS float64       `json:"elapsedMs"` // of the original execution
+	Cached    bool          `json:"cached"`    // served from the result cache
+	Shared    bool          `json:"shared"`    // joined an in-flight identical query
+	TopK      [][]int       `json:"topk,omitempty"`
+	Histogram map[int]int64 `json:"histogram,omitempty"`
+	Stats     kplex.Stats   `json:"stats"`
+}
+
+// streamSummary is the final NDJSON line of a stream response; every
+// preceding line is a JSON array holding one plex.
+type streamSummary struct {
+	Done      bool    `json:"done"`
+	Count     int64   `json:"count"`
+	Truncated bool    `json:"truncated"` // the enumeration was cancelled mid-way
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /graphs", s.handleListGraphs)
+	s.mux.HandleFunc("POST /graphs", s.handleLoadGraph)
+	s.mux.HandleFunc("DELETE /graphs/{name...}", s.handleEvictGraph)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /stream", s.handleStreamGet)
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client disconnects are not server errors
+}
+
+// fail writes a JSON error and scores the right counter.
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	if code == http.StatusTooManyRequests {
+		s.met.Rejected.Add(1)
+	} else {
+		s.met.Errors.Add(1)
+	}
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"counters":        s.met.snapshot(),
+		"cache_entries":   s.cache.len(),
+		"resident_graphs": s.reg.Len(),
+	})
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+// handleLoadGraph warms the registry: {"name": "..."} loads (or touches)
+// the graph and returns its listing row, so operators can pay parse cost
+// ahead of the first query.
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil || body.Name == "" {
+		s.fail(w, http.StatusBadRequest, "body must be {\"name\": \"<graph>\"}")
+		return
+	}
+	e, err := s.reg.Acquire(body.Name)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err.Error())
+		return
+	}
+	info := GraphInfo{Name: e.Name, Digest: e.Digest, N: e.G.N(), M: e.G.M()}
+	s.reg.Release(e)
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleEvictGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	switch err := s.reg.Evict(name); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]string{"evicted": name})
+	case errors.Is(err, ErrInUse):
+		s.fail(w, http.StatusConflict, err.Error())
+	default:
+		s.fail(w, http.StatusNotFound, err.Error())
+	}
+}
+
+// parseOptions validates the request and builds the engine Options.
+func (s *Server) parseOptions(req *queryRequest) (kplex.Options, error) {
+	if req.Graph == "" {
+		return kplex.Options{}, fmt.Errorf("graph is required")
+	}
+	if req.K < 1 || req.K > s.cfg.MaxK {
+		return kplex.Options{}, fmt.Errorf("k must be in [1, %d], got %d", s.cfg.MaxK, req.K)
+	}
+	switch req.Mode {
+	case "count", "topk", "histogram", "stream":
+	default:
+		return kplex.Options{}, fmt.Errorf("mode must be count, topk, histogram or stream, got %q", req.Mode)
+	}
+	if req.Mode == "topk" {
+		if req.TopN == 0 {
+			req.TopN = 10
+		}
+		if req.TopN < 1 || req.TopN > s.cfg.MaxTopN {
+			return kplex.Options{}, fmt.Errorf("topn must be in [1, %d], got %d", s.cfg.MaxTopN, req.TopN)
+		}
+	}
+	if req.Threads < 0 || req.Threads > s.cfg.MaxThreads {
+		return kplex.Options{}, fmt.Errorf("threads must be in [0, %d], got %d", s.cfg.MaxThreads, req.Threads)
+	}
+	opts := kplex.NewOptions(req.K, req.Q)
+	opts.Threads = req.Threads
+	if opts.Threads <= 0 {
+		opts.Threads = s.cfg.DefaultThreads
+	}
+	switch req.Scheduler {
+	case "", "stages":
+		opts.Scheduler = kplex.SchedulerStages
+	case "global-queue":
+		opts.Scheduler = kplex.SchedulerGlobalQueue
+	case "steal":
+		opts.Scheduler = kplex.SchedulerSteal
+	default:
+		return kplex.Options{}, fmt.Errorf("unknown scheduler %q", req.Scheduler)
+	}
+	if opts.Threads > 1 {
+		// Straggler splitting: a service must not let one deep subtree pin
+		// a worker while its siblings idle (Section 6's τ_time).
+		opts.TaskTimeout = 2 * time.Millisecond
+	}
+	if err := opts.Validate(); err != nil {
+		return kplex.Options{}, err
+	}
+	return opts, nil
+}
+
+// cacheKey is the result-cache identity of a cacheable query: content
+// digest of the graph, the normalized result-defining options, the mode,
+// and the mode's own parameters.
+func cacheKey(digest string, opts *kplex.Options, req *queryRequest) string {
+	key := digest + "|" + opts.ResultKey() + "|" + req.Mode
+	if req.Mode == "topk" {
+		key += "|n=" + strconv.Itoa(req.TopN)
+	}
+	return key
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	opts, err := s.parseOptions(&req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Mode == "stream" {
+		s.serveStream(w, r, &req, opts)
+		return
+	}
+	s.met.Queries.Add(1)
+
+	entry, err := s.reg.Acquire(req.Graph)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err.Error())
+		return
+	}
+	defer s.reg.Release(entry)
+
+	key := cacheKey(entry.Digest, &opts, &req)
+	if val, ok := s.cache.get(key); ok {
+		s.met.CacheHits.Add(1)
+		s.respond(w, &req, entry, val, true, false)
+		return
+	}
+	s.met.CacheMisses.Add(1)
+
+	val, fromCache, shared, err := s.flight.do(key, func() (*queryResult, bool, error) {
+		// A just-finished flight may have filled the cache between our miss
+		// and this call; re-check before paying for an enumeration.
+		if val, ok := s.cache.get(key); ok {
+			return val, true, nil
+		}
+		release, err := s.admit(s.baseCtx)
+		if err != nil {
+			return nil, false, err
+		}
+		defer release()
+		s.met.Executions.Add(1)
+		val, err := s.execute(entry, &req, opts)
+		if err != nil {
+			return nil, false, err
+		}
+		s.cache.put(key, val)
+		return val, false, nil
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, errBusy):
+			s.fail(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, context.DeadlineExceeded):
+			s.fail(w, http.StatusGatewayTimeout, "query exceeded the server's time budget")
+		default:
+			s.fail(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	// Exactly one counter per answered query: served from cache, shared an
+	// in-flight call, or executed (counted inside the flight fn).
+	switch {
+	case fromCache:
+		s.met.CacheHits.Add(1)
+	case shared:
+		s.met.FlightShared.Add(1)
+	}
+	s.respond(w, &req, entry, val, fromCache, shared)
+}
+
+// execute runs one cacheable enumeration. The context is detached from the
+// requesting client: the result is cacheable, so completing it is useful
+// even if the first asker is gone; Config.QueryTimeout is its bound and
+// Server.Close its shutdown path.
+func (s *Server) execute(entry *GraphEntry, req *queryRequest, opts kplex.Options) (*queryResult, error) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.QueryTimeout)
+	defer cancel()
+	val := &queryResult{Mode: req.Mode, Digest: entry.Digest, ComputedAt: time.Now()}
+	var res kplex.Result
+	var err error
+	switch req.Mode {
+	case "count":
+		res, err = kplex.Run(ctx, entry.G, opts)
+	case "topk":
+		val.TopK, res, err = kplex.EnumerateTopK(ctx, entry.G, opts, req.TopN)
+		if val.TopK == nil {
+			val.TopK = [][]int{} // encode as [] rather than null
+		}
+	case "histogram":
+		val.Histogram, res, err = kplex.SizeHistogram(ctx, entry.G, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	val.Count = res.Count
+	val.MaxSize = int(res.Stats.MaxPlexSize)
+	val.Elapsed = res.Elapsed
+	val.Stats = res.Stats
+	return val, nil
+}
+
+func (s *Server) respond(w http.ResponseWriter, req *queryRequest, entry *GraphEntry, val *queryResult, cached, shared bool) {
+	writeJSON(w, http.StatusOK, queryResponse{
+		Graph:     req.Graph,
+		Digest:    entry.Digest,
+		K:         req.K,
+		Q:         req.Q,
+		Mode:      req.Mode,
+		Count:     val.Count,
+		MaxSize:   val.MaxSize,
+		ElapsedMS: float64(val.Elapsed) / float64(time.Millisecond),
+		Cached:    cached,
+		Shared:    shared,
+		TopK:      val.TopK,
+		Histogram: val.Histogram,
+		Stats:     val.Stats,
+	})
+}
+
+// handleStreamGet adapts GET /stream?graph=..&k=..&q=..[&threads=..
+// &scheduler=..] to the streaming path, for clients (curl, browsers) that
+// cannot POST bodies comfortably.
+func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	atoi := func(key string) int {
+		v, _ := strconv.Atoi(qs.Get(key))
+		return v
+	}
+	req := queryRequest{
+		Graph:     qs.Get("graph"),
+		K:         atoi("k"),
+		Q:         atoi("q"),
+		Mode:      "stream",
+		Threads:   atoi("threads"),
+		Scheduler: qs.Get("scheduler"),
+	}
+	opts, err := s.parseOptions(&req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serveStream(w, r, &req, opts)
+}
+
+// serveStream answers a stream-mode query as NDJSON: one JSON array per
+// plex, then a summary object. Results flow straight from the engine's
+// bounded channel; a disconnecting client cancels the request context,
+// which stops the enumeration (no goroutine survives an abandoned
+// stream). Stream results are not cached: the transfer, not the
+// enumeration, dominates them, and caching materialised result sets is
+// exactly what the streaming path exists to avoid.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req *queryRequest, opts kplex.Options) {
+	s.met.Streams.Add(1)
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	release, err := s.admit(ctx)
+	if err != nil {
+		if errors.Is(err, errBusy) {
+			s.fail(w, http.StatusTooManyRequests, err.Error())
+		} else {
+			s.fail(w, http.StatusBadRequest, "client went away: "+err.Error())
+		}
+		return
+	}
+	defer release()
+
+	entry, err := s.reg.Acquire(req.Graph)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err.Error())
+		return
+	}
+	defer s.reg.Release(entry)
+
+	opts.StreamBuffer = s.cfg.StreamBuffer
+	h, err := kplex.RunStream(ctx, entry.G, opts)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Graph-Digest", entry.Digest)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	lines := 0
+	lastFlush := time.Now()
+	for p := range h.C() {
+		if err := enc.Encode(p); err != nil {
+			cancel() // writer dead: stop the engine, then drain to the close
+			break
+		}
+		lines++
+		s.met.StreamedPlexes.Add(1)
+		if flusher != nil && (lines&63 == 0 || time.Since(lastFlush) > 100*time.Millisecond) {
+			flusher.Flush()
+			lastFlush = time.Now()
+		}
+	}
+	res, runErr := h.Wait()
+	if runErr != nil {
+		s.met.StreamsCancelled.Add(1)
+	}
+	enc.Encode(streamSummary{ //nolint:errcheck // best effort on a dying conn
+		Done:      runErr == nil,
+		Count:     res.Count,
+		Truncated: runErr != nil,
+		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

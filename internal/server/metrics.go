@@ -1,0 +1,40 @@
+package server
+
+import "sync/atomic"
+
+// metrics are the server's monotonic counters. They exist for operations
+// (the /stats endpoint) and for the integration tests, which assert the
+// batching behaviour — "N identical concurrent queries, one execution" —
+// through Executions, FlightShared and CacheHits rather than by timing.
+type metrics struct {
+	Queries          atomic.Int64 // cacheable queries accepted (count/topk/histogram)
+	Streams          atomic.Int64 // streaming queries accepted
+	Executions       atomic.Int64 // enumerations actually run for cacheable queries
+	CacheHits        atomic.Int64 // answered straight from the result cache
+	CacheMisses      atomic.Int64 // had to consult singleflight (shared or executed)
+	FlightShared     atomic.Int64 // joined an in-flight identical query
+	Rejected         atomic.Int64 // turned away by admission control (429)
+	Errors           atomic.Int64 // requests that ended in a 4xx/5xx other than 429
+	GraphLoads       atomic.Int64 // registry loads (not cache-resident reuses)
+	GraphEvictions   atomic.Int64 // registry evictions (LRU or explicit)
+	StreamedPlexes   atomic.Int64 // plexes delivered over stream responses
+	StreamsCancelled atomic.Int64 // streams ended by client disconnect / ctx
+}
+
+// snapshot returns the counters as a plain map for JSON encoding.
+func (m *metrics) snapshot() map[string]int64 {
+	return map[string]int64{
+		"queries":           m.Queries.Load(),
+		"streams":           m.Streams.Load(),
+		"executions":        m.Executions.Load(),
+		"cache_hits":        m.CacheHits.Load(),
+		"cache_misses":      m.CacheMisses.Load(),
+		"flight_shared":     m.FlightShared.Load(),
+		"rejected":          m.Rejected.Load(),
+		"errors":            m.Errors.Load(),
+		"graph_loads":       m.GraphLoads.Load(),
+		"graph_evictions":   m.GraphEvictions.Load(),
+		"streamed_plexes":   m.StreamedPlexes.Load(),
+		"streams_cancelled": m.StreamsCancelled.Load(),
+	}
+}

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Registry keeps parsed graphs resident so queries stop paying a full
+// parse per request. Entries are loaded once (concurrent first requests
+// for the same graph share one load), refcounted while queries run over
+// them, and evicted least-recently-used once the resident cap is
+// exceeded — but only when idle, so an in-flight enumeration never loses
+// its graph (Go's GC keeps the evicted *Graph alive for whoever still
+// holds it; the registry merely forgets the name).
+type Registry struct {
+	maxResident int
+	loader      func(name string) (*graph.Graph, error)
+	onLoad      func()
+	onEvict     func()
+
+	mu      sync.Mutex
+	entries map[string]*GraphEntry
+	loading map[string]*sync.WaitGroup
+}
+
+// GraphEntry is one resident graph. Immutable after load except for the
+// registry-managed refcount and timestamps.
+type GraphEntry struct {
+	Name   string
+	G      *graph.Graph
+	Digest string // graph.DigestHex: content identity for cache keying
+
+	refs     int
+	loadedAt time.Time
+	lastUse  time.Time
+}
+
+// GraphInfo is the /graphs listing row.
+type GraphInfo struct {
+	Name     string    `json:"name"`
+	Digest   string    `json:"digest"`
+	N        int       `json:"n"`
+	M        int       `json:"m"`
+	Refs     int       `json:"refs"`
+	LoadedAt time.Time `json:"loadedAt"`
+	LastUse  time.Time `json:"lastUse"`
+}
+
+// NewRegistry returns a registry holding at most maxResident graphs
+// (idle ones beyond the cap are evicted LRU; pinned ones may exceed it).
+// loader resolves a graph name to a parsed graph.
+func NewRegistry(maxResident int, loader func(string) (*graph.Graph, error)) *Registry {
+	if maxResident < 1 {
+		maxResident = 1
+	}
+	return &Registry{
+		maxResident: maxResident,
+		loader:      loader,
+		entries:     make(map[string]*GraphEntry),
+		loading:     make(map[string]*sync.WaitGroup),
+	}
+}
+
+// setHooks wires the metrics callbacks (nil-safe).
+func (r *Registry) setHooks(onLoad, onEvict func()) {
+	r.onLoad, r.onEvict = onLoad, onEvict
+}
+
+// Acquire returns the named graph, loading it on first use, and pins it
+// against eviction until the matching Release. Concurrent acquires of an
+// absent graph perform one load.
+func (r *Registry) Acquire(name string) (*GraphEntry, error) {
+	r.mu.Lock()
+	for {
+		if e, ok := r.entries[name]; ok {
+			e.refs++
+			e.lastUse = time.Now()
+			r.mu.Unlock()
+			return e, nil
+		}
+		wg, inFlight := r.loading[name]
+		if !inFlight {
+			break
+		}
+		// Another goroutine is loading this graph; wait and re-check. If
+		// its load failed we retry the load ourselves.
+		r.mu.Unlock()
+		wg.Wait()
+		r.mu.Lock()
+	}
+	wg := new(sync.WaitGroup)
+	wg.Add(1)
+	r.loading[name] = wg
+	r.mu.Unlock()
+
+	g, err := r.loader(name)
+
+	r.mu.Lock()
+	delete(r.loading, name)
+	wg.Done()
+	if err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	now := time.Now()
+	e := &GraphEntry{
+		Name:     name,
+		G:        g,
+		Digest:   graph.DigestHex(g),
+		refs:     1,
+		loadedAt: now,
+		lastUse:  now,
+	}
+	r.entries[name] = e
+	if r.onLoad != nil {
+		r.onLoad()
+	}
+	r.evictOverCapLocked()
+	r.mu.Unlock()
+	return e, nil
+}
+
+// Release unpins an entry acquired with Acquire.
+func (r *Registry) Release(e *GraphEntry) {
+	r.mu.Lock()
+	e.refs--
+	e.lastUse = time.Now()
+	r.evictOverCapLocked()
+	r.mu.Unlock()
+}
+
+// evictOverCapLocked drops idle least-recently-used entries until the
+// resident count fits the cap (or only pinned entries remain).
+func (r *Registry) evictOverCapLocked() {
+	for len(r.entries) > r.maxResident {
+		var victim *GraphEntry
+		for _, e := range r.entries {
+			if e.refs > 0 {
+				continue
+			}
+			if victim == nil || e.lastUse.Before(victim.lastUse) {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // everything is pinned; stay over cap until releases
+		}
+		delete(r.entries, victim.Name)
+		if r.onEvict != nil {
+			r.onEvict()
+		}
+	}
+}
+
+// Sentinel errors for Evict, so handlers can map them to status codes.
+var (
+	ErrNotResident = fmt.Errorf("graph is not resident")
+	ErrInUse       = fmt.Errorf("graph is in use")
+)
+
+// Evict removes the named graph immediately. It fails while queries are
+// running over it.
+func (r *Registry) Evict(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return fmt.Errorf("graph %q: %w", name, ErrNotResident)
+	}
+	if e.refs > 0 {
+		return fmt.Errorf("graph %q: %w (%d queries)", name, ErrInUse, e.refs)
+	}
+	delete(r.entries, name)
+	if r.onEvict != nil {
+		r.onEvict()
+	}
+	return nil
+}
+
+// List returns the resident graphs sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GraphInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, GraphInfo{
+			Name:     e.Name,
+			Digest:   e.Digest,
+			N:        e.G.N(),
+			M:        e.G.M(),
+			Refs:     e.refs,
+			LoadedAt: e.loadedAt,
+			LastUse:  e.lastUse,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of resident graphs.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// corpusPrefix names the builtin seeded generator graphs (gen.Corpus):
+// "corpus:planted-a" etc. They need no data directory, which is what makes
+// a kplexd useful out of the box and lets the integration tests run
+// hermetically.
+const corpusPrefix = "corpus:"
+
+// NewLoader returns the standard name resolver: "corpus:<name>" builds the
+// builtin corpus graph; anything else is a file path inside dataDir,
+// parsed with format auto-detection. An empty dataDir serves only the
+// corpus. Paths escaping dataDir are rejected.
+func NewLoader(dataDir string) func(string) (*graph.Graph, error) {
+	return func(name string) (*graph.Graph, error) {
+		if rest, ok := strings.CutPrefix(name, corpusPrefix); ok {
+			cg := gen.CorpusGraphByName(rest)
+			if cg == nil {
+				return nil, fmt.Errorf("unknown corpus graph %q", rest)
+			}
+			return cg.Build(), nil
+		}
+		if dataDir == "" {
+			return nil, fmt.Errorf("graph %q: no data directory configured (only %s* names are servable)", name, corpusPrefix)
+		}
+		if name == "" || filepath.IsAbs(name) {
+			return nil, fmt.Errorf("graph name must be a relative path, got %q", name)
+		}
+		clean := filepath.Clean(name)
+		if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+			return nil, fmt.Errorf("graph name %q escapes the data directory", name)
+		}
+		rr, err := graph.ReadAnyFile(filepath.Join(dataDir, clean))
+		if err != nil {
+			return nil, err
+		}
+		return rr.Graph, nil
+	}
+}

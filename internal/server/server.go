@@ -1,0 +1,160 @@
+// Package server is the kplexd query service: a long-running HTTP/JSON
+// front end over the enumeration engine. It keeps parsed graphs resident
+// in a refcounted, LRU-evictable registry; answers count, top-k and
+// histogram queries through a result cache keyed by (graph digest,
+// normalized options) with singleflight batching of concurrent identical
+// queries; and serves large result sets as NDJSON streams backed by the
+// engine's bounded-channel path, so a dropped client cancels the
+// enumeration instead of leaking it. Admission control bounds the number
+// of concurrent enumerations; excess load is turned away with 429 rather
+// than queued without bound.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/kplex"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// default chosen for a small deployment.
+type Config struct {
+	// DataDir is the directory graph files are served from; empty means
+	// only the builtin "corpus:*" graphs are available.
+	DataDir string
+	// MaxResidentGraphs caps the registry (default 8).
+	MaxResidentGraphs int
+	// CacheEntries caps the result cache (default 256).
+	CacheEntries int
+	// MaxConcurrent bounds simultaneously running enumerations, cacheable
+	// and streaming alike (default NumCPU, min 2).
+	MaxConcurrent int
+	// AdmissionTimeout is how long a request waits for an enumeration slot
+	// before being rejected with 429 (default 2s).
+	AdmissionTimeout time.Duration
+	// QueryTimeout bounds one cacheable enumeration (default 5m). Cacheable
+	// runs are detached from the requesting client — a dropped client does
+	// not abort work whose result every later identical query reuses — so
+	// this is their only stop.
+	QueryTimeout time.Duration
+	// DefaultThreads is the engine parallelism when a query does not ask
+	// for one (default NumCPU).
+	DefaultThreads int
+	// MaxThreads rejects queries asking for more parallelism (default
+	// 4×NumCPU); like MaxK, an open service needs a ceiling — the engine
+	// spawns a worker, a queue and scratch buffers per thread.
+	MaxThreads int
+	// MaxK rejects queries with k beyond it (default 8; enumeration cost
+	// explodes with k, so an open service needs a ceiling).
+	MaxK int
+	// MaxTopN caps topk queries (default 1000).
+	MaxTopN int
+	// StreamBuffer is the per-stream channel capacity (default
+	// kplex.DefaultStreamBuffer).
+	StreamBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxResidentGraphs <= 0 {
+		c.MaxResidentGraphs = 8
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = max(2, runtime.NumCPU())
+	}
+	if c.AdmissionTimeout <= 0 {
+		c.AdmissionTimeout = 2 * time.Second
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 5 * time.Minute
+	}
+	if c.DefaultThreads <= 0 {
+		c.DefaultThreads = runtime.NumCPU()
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 4 * runtime.NumCPU()
+	}
+	if c.DefaultThreads > c.MaxThreads {
+		c.DefaultThreads = c.MaxThreads
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 8
+	}
+	if c.MaxTopN <= 0 {
+		c.MaxTopN = 1000
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = kplex.DefaultStreamBuffer
+	}
+	return c
+}
+
+// Server is the kplexd service. Create with New, expose via Handler, and
+// Close on shutdown to cancel detached executions.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *resultCache
+	flight  flightGroup
+	sem     chan struct{}
+	met     metrics
+	mux     *http.ServeMux
+	baseCtx context.Context
+	stop    context.CancelFunc
+}
+
+// New builds a Server from cfg (see Config for defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(cfg.MaxResidentGraphs, NewLoader(cfg.DataDir)),
+		cache: newResultCache(cfg.CacheEntries),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		mux:   http.NewServeMux(),
+	}
+	s.reg.setHooks(
+		func() { s.met.GraphLoads.Add(1) },
+		func() { s.met.GraphEvictions.Add(1) },
+	)
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the graph registry (tests and the preload path).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics returns a snapshot of the server counters.
+func (s *Server) Metrics() map[string]int64 { return s.met.snapshot() }
+
+// Close cancels every detached execution. In-flight handlers finish on
+// their own (http.Server.Shutdown handles draining them).
+func (s *Server) Close() { s.stop() }
+
+// admit blocks until an enumeration slot is free, the client gives up, or
+// the admission timeout passes. The returned release must be called once
+// admit succeeds.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	t := time.NewTimer(s.cfg.AdmissionTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+		return nil, errBusy
+	}
+}
+
+var errBusy = fmt.Errorf("server at capacity: all enumeration slots busy")

@@ -1,0 +1,480 @@
+package server
+
+// In-process integration tests for kplexd: a real HTTP server on a
+// loopback listener, hit with concurrent identical and distinct queries.
+// Correctness is pinned against the committed golden corpus
+// (internal/kplex/testdata/golden) and batching/caching behaviour against
+// the server's exact accounting invariant
+//
+//	cache_hits + flight_shared + executions == queries.
+//
+// CI runs this package under -race.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// goldenCase mirrors the committed golden files.
+type goldenCase struct {
+	Graph   string `json:"graph"`
+	K       int    `json:"k"`
+	Q       int    `json:"q"`
+	Count   int64  `json:"count"`
+	MaxSize int    `json:"maxSize"`
+	SHA256  string `json:"sha256"`
+}
+
+func readGolden(t *testing.T, name string, k, q int) goldenCase {
+	t.Helper()
+	path := filepath.Join("..", "kplex", "testdata", "golden",
+		fmt.Sprintf("%s_k%d_q%d.json", name, k, q))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden corpus missing (generate with go test ./internal/kplex -run TestGolden -update): %v", err)
+	}
+	var c goldenCase
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// apiResponse mirrors queryResponse for decoding.
+type apiResponse struct {
+	Graph     string           `json:"graph"`
+	Digest    string           `json:"digest"`
+	Count     int64            `json:"count"`
+	MaxSize   int              `json:"maxSize"`
+	Cached    bool             `json:"cached"`
+	Shared    bool             `json:"shared"`
+	TopK      [][]int          `json:"topk"`
+	Histogram map[string]int64 `json:"histogram"`
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+func postQuery(t *testing.T, url string, body string) (int, apiResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out apiResponse
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("bad response %s: %v", data, err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func stats(t *testing.T, url string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Counters
+}
+
+// TestQueryModesMatchGolden answers count, topk and histogram queries for
+// golden cells and checks them against the committed outputs.
+func TestQueryModesMatchGolden(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	for _, cell := range []struct {
+		name string
+		k, q int
+	}{
+		{"planted-a", 2, 6},
+		{"sbm-blocks", 3, 8},
+		{"regular-flat", 2, 4},
+	} {
+		want := readGolden(t, cell.name, cell.k, cell.q)
+		body := fmt.Sprintf(`{"graph":"corpus:%s","k":%d,"q":%d,"mode":"count"}`, cell.name, cell.k, cell.q)
+		code, got := postQuery(t, hs.URL, body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", cell.name, code)
+		}
+		if got.Count != want.Count || got.MaxSize != want.MaxSize {
+			t.Errorf("%s: count=%d maxSize=%d, golden count=%d maxSize=%d",
+				cell.name, got.Count, got.MaxSize, want.Count, want.MaxSize)
+		}
+
+		body = fmt.Sprintf(`{"graph":"corpus:%s","k":%d,"q":%d,"mode":"histogram"}`, cell.name, cell.k, cell.q)
+		code, hist := postQuery(t, hs.URL, body)
+		if code != http.StatusOK {
+			t.Fatalf("%s histogram: status %d", cell.name, code)
+		}
+		var sum int64
+		for _, c := range hist.Histogram {
+			sum += c
+		}
+		if sum != want.Count {
+			t.Errorf("%s: histogram sums to %d, golden count %d", cell.name, sum, want.Count)
+		}
+
+		body = fmt.Sprintf(`{"graph":"corpus:%s","k":%d,"q":%d,"mode":"topk","topn":3}`, cell.name, cell.k, cell.q)
+		code, topk := postQuery(t, hs.URL, body)
+		if code != http.StatusOK {
+			t.Fatalf("%s topk: status %d", cell.name, code)
+		}
+		if want.Count > 0 {
+			if len(topk.TopK) == 0 || len(topk.TopK[0]) != want.MaxSize {
+				t.Errorf("%s: topk[0] size %d, golden maxSize %d", cell.name, len(topk.TopK), want.MaxSize)
+			}
+			for i := 1; i < len(topk.TopK); i++ {
+				if len(topk.TopK[i]) > len(topk.TopK[i-1]) {
+					t.Errorf("%s: topk not sorted by size", cell.name)
+				}
+			}
+		}
+	}
+}
+
+// TestSingleflightCollapsesDuplicates fires N concurrent identical
+// queries on a cold cache: exactly one enumeration may run, everyone else
+// must share it (in flight) or hit the cache it filled.
+func TestSingleflightCollapsesDuplicates(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	want := readGolden(t, "chunglu-tail", 3, 8)
+	const n = 16
+	body := `{"graph":"corpus:chunglu-tail","k":3,"q":8,"mode":"count","threads":2}`
+
+	var wg sync.WaitGroup
+	counts := make([]int64, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = 0, apiResponse{}
+			code, resp := postQuery(t, hs.URL, body)
+			codes[i], counts[i] = code, resp.Count
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if counts[i] != want.Count {
+			t.Errorf("request %d: count %d, golden %d", i, counts[i], want.Count)
+		}
+	}
+	m := stats(t, hs.URL)
+	if m["executions"] != 1 {
+		t.Errorf("executions = %d, want 1 (singleflight failed to collapse)", m["executions"])
+	}
+	if m["queries"] != n {
+		t.Errorf("queries = %d, want %d", m["queries"], n)
+	}
+	if got := m["cache_hits"] + m["flight_shared"] + m["executions"]; got != n {
+		t.Errorf("cache_hits(%d) + flight_shared(%d) + executions(%d) = %d, want %d",
+			m["cache_hits"], m["flight_shared"], m["executions"], got, n)
+	}
+
+	// Distinct queries must not share: a different (k, q) executes anew.
+	code, resp := postQuery(t, hs.URL, `{"graph":"corpus:chunglu-tail","k":2,"q":6,"mode":"count","threads":2}`)
+	if code != http.StatusOK {
+		t.Fatalf("distinct query: status %d", code)
+	}
+	if g2 := readGolden(t, "chunglu-tail", 2, 6); resp.Count != g2.Count {
+		t.Errorf("distinct query count %d, golden %d", resp.Count, g2.Count)
+	}
+	if m := stats(t, hs.URL); m["executions"] != 2 {
+		t.Errorf("executions after distinct query = %d, want 2", m["executions"])
+	}
+}
+
+// TestCacheKeyedByDigest registers the same graph content under a second
+// name (a binary file in the data dir): querying it must be answered from
+// the cache entry the corpus name created, because the cache keys on the
+// content digest, not the name.
+func TestCacheKeyedByDigest(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.CorpusGraphByName("planted-a").Build()
+	if err := graph.WriteFormatFile(filepath.Join(dir, "copy.bin"), g, graph.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, Config{DataDir: dir})
+
+	code, first := postQuery(t, hs.URL, `{"graph":"corpus:planted-a","k":2,"q":6,"mode":"count"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	code, second := postQuery(t, hs.URL, `{"graph":"copy.bin","k":2,"q":6,"mode":"count"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if first.Digest != second.Digest {
+		t.Fatalf("digests differ: %s vs %s", first.Digest, second.Digest)
+	}
+	if !second.Cached {
+		t.Error("identical content under a second name missed the cache")
+	}
+	if m := stats(t, hs.URL); m["executions"] != 1 {
+		t.Errorf("executions = %d, want 1", m["executions"])
+	}
+}
+
+// readStream consumes an NDJSON stream response: plex lines then summary.
+func readStream(t *testing.T, r io.Reader, stopAfter int) (plexes [][]int, summary *streamSummary) {
+	t.Helper()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '{' {
+			summary = new(streamSummary)
+			if err := json.Unmarshal(line, summary); err != nil {
+				t.Fatalf("bad summary line %s: %v", line, err)
+			}
+			return plexes, summary
+		}
+		var p []int
+		if err := json.Unmarshal(line, &p); err != nil {
+			t.Fatalf("bad plex line %s: %v", line, err)
+		}
+		plexes = append(plexes, p)
+		if stopAfter > 0 && len(plexes) >= stopAfter {
+			return plexes, nil
+		}
+	}
+	return plexes, nil
+}
+
+// TestStreamEndpoint streams a golden cell completely and checks count,
+// validity and the final summary.
+func TestStreamEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	want := readGolden(t, "ws-ring", 2, 6)
+	resp, err := http.Get(hs.URL + "/stream?graph=corpus:ws-ring&k=2&q=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	plexes, summary := readStream(t, resp.Body, 0)
+	if int64(len(plexes)) != want.Count {
+		t.Errorf("streamed %d plexes, golden count %d", len(plexes), want.Count)
+	}
+	if summary == nil || !summary.Done || summary.Truncated || summary.Count != want.Count {
+		t.Errorf("summary = %+v, want done with count %d", summary, want.Count)
+	}
+	g := gen.CorpusGraphByName("ws-ring").Build()
+	for _, p := range plexes[:min(len(plexes), 25)] {
+		if !graph.IsMaximalKPlex(g, p, 2) {
+			t.Fatalf("streamed set %v is not a maximal 2-plex", p)
+		}
+	}
+}
+
+// TestStreamClientDisconnect abandons a stream early: the server must
+// cancel the enumeration (streams_cancelled counter) and release its
+// admission slot so later queries run.
+func TestStreamClientDisconnect(t *testing.T) {
+	dir := t.TempDir()
+	// A large dense graph whose enumeration far outlasts the test's reads.
+	if err := graph.WriteFormatFile(filepath.Join(dir, "big.bin"), gen.GNP(300, 0.25, 9), graph.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, Config{
+		DataDir:       dir,
+		MaxConcurrent: 1,
+		StreamBuffer:  4,
+	})
+	resp, err := http.Get(hs.URL + "/stream?graph=big.bin&k=3&q=6&threads=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if plexes, _ := readStream(t, resp.Body, 8); len(plexes) < 8 {
+		t.Fatalf("read %d plexes before disconnecting", len(plexes))
+	}
+	resp.Body.Close() // drop the client mid-stream
+
+	// The slot must come back and the cancellation must be scored.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m := stats(t, hs.URL)
+		if m["streams_cancelled"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream cancellation never recorded: %v", m)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	code, got := postQuery(t, hs.URL, `{"graph":"corpus:planted-a","k":2,"q":6,"mode":"count"}`)
+	if code != http.StatusOK {
+		t.Fatalf("query after disconnect: status %d", code)
+	}
+	if want := readGolden(t, "planted-a", 2, 6); got.Count != want.Count {
+		t.Errorf("count %d, golden %d", got.Count, want.Count)
+	}
+}
+
+// TestAdmissionControl holds the single enumeration slot with a stream
+// and expects an immediate 429 for a concurrent query, plus a 409 for
+// evicting the in-use graph.
+func TestAdmissionControl(t *testing.T) {
+	dir := t.TempDir()
+	if err := graph.WriteFormatFile(filepath.Join(dir, "big.bin"), gen.GNP(300, 0.25, 9), graph.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, Config{
+		DataDir:          dir,
+		MaxConcurrent:    1,
+		AdmissionTimeout: 100 * time.Millisecond,
+		StreamBuffer:     2,
+	})
+	resp, err := http.Get(hs.URL + "/stream?graph=big.bin&k=3&q=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// One delivered plex proves the stream holds the slot.
+	if plexes, _ := readStream(t, resp.Body, 1); len(plexes) != 1 {
+		t.Fatal("stream produced nothing")
+	}
+
+	code, _ := postQuery(t, hs.URL, `{"graph":"corpus:planted-a","k":2,"q":6,"mode":"count"}`)
+	if code != http.StatusTooManyRequests {
+		t.Errorf("query while saturated: status %d, want 429", code)
+	}
+	m := stats(t, hs.URL)
+	if m["rejected"] < 1 {
+		t.Errorf("rejected = %d, want >= 1", m["rejected"])
+	}
+
+	// The streamed graph is pinned: eviction must refuse.
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/graphs/big.bin", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusConflict {
+		t.Errorf("evicting an in-use graph: status %d, want 409", dresp.StatusCode)
+	}
+}
+
+// TestRegistryEviction exceeds the resident cap and checks LRU eviction
+// plus the explicit eviction endpoint.
+func TestRegistryEviction(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxResidentGraphs: 1})
+	for _, g := range []string{"corpus:planted-a", "corpus:ws-ring"} {
+		code, _ := postQuery(t, hs.URL, fmt.Sprintf(`{"graph":"%s","k":2,"q":6,"mode":"count"}`, g))
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", g, code)
+		}
+	}
+	resp, err := http.Get(hs.URL + "/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].Name != "corpus:ws-ring" {
+		t.Fatalf("resident graphs = %+v, want only corpus:ws-ring", infos)
+	}
+	if m := stats(t, hs.URL); m["graph_evictions"] != 1 {
+		t.Errorf("graph_evictions = %d, want 1", m["graph_evictions"])
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/graphs/corpus:ws-ring", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Errorf("explicit evict: status %d", dresp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, hs.URL+"/graphs/corpus:ws-ring", nil)
+	dresp, _ = http.DefaultClient.Do(req)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicting absent graph: status %d, want 404", dresp.StatusCode)
+	}
+}
+
+// TestBadRequests covers the validation and lookup error paths.
+func TestBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"graph":"corpus:no-such","k":2,"q":6,"mode":"count"}`, http.StatusNotFound},
+		{`{"graph":"../etc/passwd","k":2,"q":6,"mode":"count"}`, http.StatusNotFound},
+		{`{"graph":"corpus:planted-a","k":0,"q":6,"mode":"count"}`, http.StatusBadRequest},
+		{`{"graph":"corpus:planted-a","k":99,"q":200,"mode":"count"}`, http.StatusBadRequest},
+		{`{"graph":"corpus:planted-a","k":2,"q":2,"mode":"count"}`, http.StatusBadRequest}, // q < 2k-1
+		{`{"graph":"corpus:planted-a","k":2,"q":6,"mode":"nope"}`, http.StatusBadRequest},
+		{`{"graph":"corpus:planted-a","k":2,"q":6,"mode":"count","scheduler":"wat"}`, http.StatusBadRequest},
+		{`{"graph":"corpus:planted-a","k":2,"q":6,"mode":"topk","topn":100000}`, http.StatusBadRequest},
+		{`{"graph":"corpus:planted-a","k":2,"q":6,"mode":"count","threads":100000000}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code, _ := postQuery(t, hs.URL, c.body); code != c.want {
+			t.Errorf("%s: status %d, want %d", c.body, code, c.want)
+		}
+	}
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}

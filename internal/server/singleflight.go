@@ -1,0 +1,68 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// flightGroup collapses concurrent identical queries: the first caller for
+// a key executes, everyone else arriving before it finishes blocks and
+// shares the one result. This is what turns a thundering herd of the same
+// expensive enumeration into a single run; completed results then move to
+// the LRU cache, so the group only ever holds in-flight work.
+//
+// (A hand-rolled x/sync/singleflight — the module has no external
+// dependencies, and the needed subset is small.)
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg        sync.WaitGroup
+	val       *queryResult
+	fromCache bool
+	err       error
+}
+
+// do executes fn once per key among concurrent callers. fn reports, next
+// to its result, whether it was answered by the result cache rather than
+// a fresh execution (the caller re-checks the cache inside fn to close
+// the gap between its cache miss and the flight starting). do's returns
+// are the result, fn's fromCache flag, and whether this caller shared
+// another caller's call — the three feed the exact accounting invariant
+// cache_hits + flight_shared + executions == queries.
+func (g *flightGroup) do(key string, fn func() (*queryResult, bool, error)) (val *queryResult, fromCache, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.fromCache, true, c.err
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// The cleanup is deferred so a panicking fn (net/http recovers handler
+	// panics and keeps serving) cannot wedge the key: waiters get an error
+	// instead of blocking forever on a flight that will never finish.
+	panicked := true
+	defer func() {
+		if panicked {
+			c.err = errFlightPanicked
+		}
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+	}()
+	c.val, c.fromCache, c.err = fn()
+	panicked = false
+	return c.val, c.fromCache, false, c.err
+}
+
+var errFlightPanicked = errors.New("server: query execution panicked")

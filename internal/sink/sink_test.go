@@ -2,14 +2,10 @@ package sink
 
 import (
 	"bytes"
-	"context"
 	"math/rand"
 	"strings"
 	"sync"
 	"testing"
-
-	"repro/internal/gen"
-	"repro/internal/kplex"
 )
 
 func randomPlexes(rng *rand.Rand, n int) [][]int {
@@ -186,41 +182,6 @@ func TestEqualAndSort(t *testing.T) {
 	SortPlexes(s)
 	if len(s[0]) != 3 || s[1][0] != 1 || s[2][0] != 2 {
 		t.Errorf("SortPlexes order wrong: %v", s)
-	}
-}
-
-func TestVerifyEndToEnd(t *testing.T) {
-	g := gen.Planted(gen.PlantedConfig{
-		N: 80, BackgroundP: 0.02, Communities: 5, CommSize: 10,
-		DropPerV: 1, Overlap: 2, Seed: 9,
-	})
-	k, q := 2, 6
-	var plexes [][]int
-	opts := kplex.NewOptions(k, q)
-	opts.OnPlex = func(p []int) { plexes = append(plexes, append([]int(nil), p...)) }
-	if _, err := kplex.Run(context.Background(), g, opts); err != nil {
-		t.Fatal(err)
-	}
-	if len(plexes) == 0 {
-		t.Fatal("no plexes to verify")
-	}
-	rep := Verify(g, plexes, k, q)
-	if !rep.OK() {
-		t.Errorf("clean result set failed verification: %s", rep)
-	}
-
-	// Now sabotage the set in every way the report tracks.
-	bad := append([][]int{}, plexes...)
-	bad = append(bad, plexes[0])                    // duplicate
-	bad = append(bad, []int{3, 2, 1})               // unsorted
-	bad = append(bad, []int{0, g.N() + 5})          // out of range
-	bad = append(bad, plexes[0][:len(plexes[0])-1]) // subset: not maximal (and small)
-	rep = Verify(g, bad, k, q)
-	if rep.OK() {
-		t.Error("sabotaged set passed verification")
-	}
-	if rep.Duplicates != 1 || rep.NotSorted != 1 || rep.OutOfRange != 1 {
-		t.Errorf("unexpected report: %s", rep)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
-	"repro/internal/kplex"
 )
 
 // Report summarises the verification of a result set against a graph.
@@ -77,9 +76,9 @@ func Verify(g *graph.Graph, plexes [][]int, k, q int) Report {
 			rep.TooSmall++
 		}
 		switch {
-		case !kplex.IsKPlex(g, p, k):
+		case !graph.IsKPlex(g, p, k):
 			rep.NotKPlex++
-		case !kplex.IsMaximalKPlex(g, p, k):
+		case !graph.IsMaximalKPlex(g, p, k):
 			rep.NotMaximal++
 		}
 	}

@@ -125,6 +125,33 @@ func EnumerateAll(ctx context.Context, g *Graph, opts Options) ([][]int, Result,
 	return out, res, err
 }
 
+// DefaultStreamBuffer is the EnumerateStream channel capacity used when
+// Options.StreamBuffer is zero.
+const DefaultStreamBuffer = kplex.DefaultStreamBuffer
+
+// EnumerateStream enumerates like Enumerate but delivers each maximal
+// k-plex over a bounded channel as it is found, instead of materialising
+// the result set or requiring an OnPlex callback. The channel yields each
+// plex as a sorted slice of input-graph vertex ids (the receiver owns the
+// slice) and is closed when the run completes or is cancelled; the
+// returned *Result is populated before the close, so it may be read once
+// the channel is closed (Count, Stats, Elapsed). A synchronous error is
+// returned only for invalid options.
+//
+// Cancellation is two-way: cancelling ctx stops the enumeration engine and
+// unblocks any worker parked on a full channel, so abandoning a stream
+// (e.g. an HTTP client disconnecting) never leaks goroutines, while a slow
+// consumer back-pressures the engine through Options.StreamBuffer rather
+// than growing memory. After the channel closes, ctx.Err() distinguishes a
+// complete enumeration from a cancelled one. opts.OnPlex must be nil.
+func EnumerateStream(ctx context.Context, g *Graph, opts Options) (<-chan []int, *Result, error) {
+	h, err := kplex.RunStream(ctx, g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h.C(), h.Result(), nil
+}
+
 // FindMaximumKPlex returns a maximum-cardinality k-plex of g among those
 // with at least 2k-1 vertices (nil if none exists), via binary search over
 // the size threshold with first-hit enumeration queries.
