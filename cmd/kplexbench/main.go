@@ -9,6 +9,9 @@
 //	kplexbench -ext ubcolor    # extension: coloring-bound ablation
 //	kplexbench -ext maximum    # extension: maximum k-plex solvers
 //	kplexbench -ext scheduler  # extension: parallel scheduler ablation
+//	kplexbench -ext jobs       # extension: job-subsystem checkpoint overhead
+//	kplexbench -json FILE      # like -ext jobs, writing the machine-readable
+//	                           # snapshot to FILE (default BENCH_jobs.json)
 //	kplexbench -quick ...      # representative subset, ~1 minute total
 //	kplexbench -threads 8 ...  # worker count for the parallel experiments
 package main
@@ -25,16 +28,22 @@ import (
 
 func main() {
 	var (
-		table   = flag.Int("table", 0, "regenerate one table (2-7)")
-		figure  = flag.Int("figure", 0, "regenerate one figure (7, 8, 9, 13)")
-		ext     = flag.String("ext", "", "extension experiment: ubcolor, maximum or scheduler")
-		all     = flag.Bool("all", false, "regenerate everything")
-		quick   = flag.Bool("quick", false, "representative subset only")
-		threads = flag.Int("threads", 0, "parallel worker count (default min(16, CPUs))")
+		table    = flag.Int("table", 0, "regenerate one table (2-7)")
+		figure   = flag.Int("figure", 0, "regenerate one figure (7, 8, 9, 13)")
+		ext      = flag.String("ext", "", "extension experiment: ubcolor, maximum, scheduler or jobs")
+		all      = flag.Bool("all", false, "regenerate everything")
+		quick    = flag.Bool("quick", false, "representative subset only")
+		threads  = flag.Int("threads", 0, "parallel worker count (default min(16, CPUs))")
+		jsonPath = flag.String("json", "", "run the jobs benchmark and write its machine-readable snapshot to this file")
 	)
 	flag.Parse()
 
 	cfg := &bench.Config{Quick: *quick, Threads: *threads, Out: os.Stdout}
+
+	benchJSON := *jsonPath
+	if benchJSON == "" {
+		benchJSON = "BENCH_jobs.json"
+	}
 
 	type job struct {
 		name string
@@ -57,15 +66,19 @@ func main() {
 		"ubcolor":   {name: "Table 5x (extension)", run: cfg.TableUBColor, ext: true},
 		"maximum":   {name: "Table M (extension)", run: cfg.TableMaximum, ext: true},
 		"scheduler": {name: "Table S (extension)", run: cfg.TableScheduler, ext: true},
+		"jobs":      {name: "Jobs checkpoint overhead (extension)", run: func() error { return cfg.JobsBench(benchJSON) }, ext: true},
 	}
 	order := []string{
 		"table2", "table3", "figure7", "table4", "figure8",
 		"table5", "table6", "figure9", "figure13", "figure14",
 		"figure15", "table7", "ubcolor", "maximum", "scheduler",
+		"jobs",
 	}
 
 	var selected []string
 	switch {
+	case *jsonPath != "":
+		selected = []string{"jobs"}
 	case *all:
 		selected = order
 	case *table != 0:

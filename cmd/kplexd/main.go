@@ -1,26 +1,35 @@
 // Command kplexd is the k-plex query service: a long-running HTTP server
 // that keeps parsed graphs resident and answers enumeration queries with
 // result caching, singleflight batching of identical concurrent queries,
-// and incremental streaming of large result sets.
+// incremental streaming of large result sets, and (with -jobs) durable
+// background jobs that checkpoint seed-level progress and resume after a
+// restart.
 //
 // Endpoints (see the README for full query shapes):
 //
-//	GET  /healthz          liveness
-//	GET  /stats            counters, cache and registry occupancy
-//	GET  /graphs           resident graphs
-//	POST /graphs           {"name": "g.txt"} — preload a graph
-//	DELETE /graphs/{name}  evict a resident graph
-//	POST /query            {"graph","k","q","mode",...} — count | topk | histogram | stream
-//	GET  /stream           stream query via URL parameters (NDJSON)
+//	GET  /healthz            liveness
+//	GET  /stats              counters, cache and registry occupancy (JSON)
+//	GET  /metrics            the same counters in Prometheus text format
+//	GET  /graphs             resident graphs
+//	POST /graphs             {"name": "g.txt"} — preload a graph
+//	DELETE /graphs/{name}    evict a resident graph
+//	POST /query              {"graph","k","q","mode",...} — count | topk | histogram | stream
+//	GET  /stream             stream query via URL parameters (NDJSON)
+//	POST /jobs               submit a durable background enumeration
+//	GET  /jobs[/{id}]        list jobs / one job's progress
+//	GET  /jobs/{id}/events   NDJSON progress feed
+//	GET  /jobs/{id}/result   completed job's result
+//	POST /jobs/{id}/cancel   cancel an active job
+//	DELETE /jobs/{id}        cancel (active) or delete (terminal)
 //
 // Graph names are file paths under -data (any supported format,
 // auto-detected) or builtin corpus graphs ("corpus:planted-a", ...).
 //
 // Example:
 //
-//	kplexd -addr :8080 -data ./graphs &
+//	kplexd -addr :8080 -data ./graphs -jobs ./jobs &
 //	curl -s localhost:8080/query -d '{"graph":"corpus:planted-a","k":2,"q":6,"mode":"count"}'
-//	curl -sN 'localhost:8080/stream?graph=corpus:planted-a&k=2&q=6'
+//	curl -s localhost:8080/jobs -d '{"graph":"corpus:planted-a","k":2,"q":6}'
 package main
 
 import (
@@ -40,9 +49,21 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run owns the server lifecycle so every exit path — including startup
+// errors — releases resources through the same defers (a log.Fatalf here
+// would skip srv.Close and strand detached executions and running jobs).
+func run() error {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		dataDir      = flag.String("data", "", "directory graph files are served from (empty: corpus graphs only)")
+		jobsDir      = flag.String("jobs", "", "directory for durable background jobs (empty: /jobs endpoints disabled)")
+		jobWorkers   = flag.Int("job-workers", 2, "concurrently running background jobs")
 		maxGraphs    = flag.Int("max-graphs", 8, "resident graph cap (idle graphs beyond it are evicted LRU)")
 		cacheEntries = flag.Int("cache", 256, "result cache capacity (completed queries)")
 		maxConc      = flag.Int("max-concurrent", 0, "concurrent enumeration bound (0: NumCPU)")
@@ -54,8 +75,10 @@ func main() {
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		DataDir:           *dataDir,
+		JobsDir:           *jobsDir,
+		JobWorkers:        *jobWorkers,
 		MaxResidentGraphs: *maxGraphs,
 		CacheEntries:      *cacheEntries,
 		MaxConcurrent:     *maxConc,
@@ -64,8 +87,15 @@ func main() {
 		DefaultThreads:    *threads,
 		MaxK:              *maxK,
 	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 
+	// Preload failures are warnings, not fatal: one bad name in the list
+	// must neither kill the process nor throw away the graphs that did
+	// load. Each failure names its graph so the operator can fix the list.
+	var failed []string
 	for _, name := range strings.Split(*preload, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -73,10 +103,15 @@ func main() {
 		}
 		e, err := srv.Registry().Acquire(name)
 		if err != nil {
-			log.Fatalf("preload %q: %v", name, err)
+			log.Printf("preload %q failed: %v", name, err)
+			failed = append(failed, name)
+			continue
 		}
 		log.Printf("preloaded %s: n=%d m=%d digest=%s", name, e.G.N(), e.G.M(), e.Digest[:12])
 		srv.Registry().Release(e)
+	}
+	if len(failed) > 0 {
+		log.Printf("preload: %d of the requested graphs unavailable (%s); serving the rest", len(failed), strings.Join(failed, ", "))
 	}
 
 	hs := &http.Server{
@@ -85,8 +120,8 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Graceful shutdown: stop accepting, drain handlers, cancel detached
-	// executions.
+	// Graceful shutdown: stop accepting, drain handlers, checkpoint and
+	// stop background jobs, cancel detached executions.
 	idle := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -100,10 +135,10 @@ func main() {
 		close(idle)
 	}()
 
-	log.Printf("kplexd listening on %s (data=%q)", *addr, *dataDir)
+	log.Printf("kplexd listening on %s (data=%q jobs=%q)", *addr, *dataDir, *jobsDir)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	<-idle
+	return nil
 }

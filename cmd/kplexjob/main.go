@@ -1,0 +1,392 @@
+// Command kplexjob is the client for kplexd's durable background jobs: it
+// submits long-running enumerations, watches their checkpointed progress,
+// and fetches results — against a running kplexd, or fully in-process with
+// -local (no server needed; useful for scripted batch runs, and because
+// the jobs directory is durable, an interrupted local run resumes from its
+// last checkpoint when reinvoked).
+//
+// Usage:
+//
+//	kplexjob [-addr URL | -local -jobs DIR [-data DIR]] <command> [flags]
+//
+// Commands:
+//
+//	submit  -graph G -k K -q Q [-topn N] [-threads T] [-scheduler S] [-priority P] [-wait]
+//	list
+//	status  <id>
+//	wait    <id>
+//	result  <id>
+//	cancel  <id>
+//	delete  <id>
+//
+// Examples:
+//
+//	kplexjob -addr http://localhost:8080 submit -graph corpus:planted-a -k 2 -q 6 -wait
+//	kplexjob -local -jobs ./jobs -data ./graphs submit -graph web.txt -k 2 -q 12
+//	kplexjob wait j4f2a81c09d1b
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kplexjob:", err)
+		os.Exit(1)
+	}
+}
+
+// backend abstracts "talk to kplexd" vs "run the manager in-process".
+type backend interface {
+	submit(spec jobs.Spec) (*jobs.Manifest, error)
+	list() ([]jobs.View, error)
+	status(id string) (*jobs.View, error)
+	wait(id string) (*jobs.View, error)
+	result(id string) (*jobs.Result, error)
+	cancel(id string) error
+	remove(id string) error
+	close()
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "kplexd base URL")
+		local   = flag.Bool("local", false, "run the job manager in-process instead of talking to a kplexd")
+		jobsDir = flag.String("jobs", "kplex-jobs", "jobs directory (-local only)")
+		dataDir = flag.String("data", "", "graph data directory (-local only; empty: corpus graphs only)")
+		workers = flag.Int("workers", 1, "concurrent jobs (-local only)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: kplexjob [-addr URL | -local -jobs DIR [-data DIR]] <submit|list|status|wait|result|cancel|delete> [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		return errors.New("missing command")
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	var b backend
+	if *local {
+		m, err := jobs.Open(jobs.Config{
+			Dir:     *jobsDir,
+			Workers: *workers,
+			Load:    localLoader(*dataDir),
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		b = &localBackend{m: m}
+	} else {
+		b = &httpBackend{base: strings.TrimRight(*addr, "/")}
+	}
+	defer b.close()
+
+	switch cmd {
+	case "submit":
+		return cmdSubmit(b, *local, args)
+	case "list":
+		views, err := b.list()
+		if err != nil {
+			return err
+		}
+		return printJSON(views)
+	case "status":
+		id, err := oneID(args)
+		if err != nil {
+			return err
+		}
+		v, err := b.status(id)
+		if err != nil {
+			return err
+		}
+		return printJSON(v)
+	case "wait":
+		id, err := oneID(args)
+		if err != nil {
+			return err
+		}
+		return waitAndReport(b, id)
+	case "result":
+		id, err := oneID(args)
+		if err != nil {
+			return err
+		}
+		res, err := b.result(id)
+		if err != nil {
+			return err
+		}
+		return printJSON(res)
+	case "cancel":
+		id, err := oneID(args)
+		if err != nil {
+			return err
+		}
+		if err := b.cancel(id); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "cancelled", id)
+		return nil
+	case "delete":
+		id, err := oneID(args)
+		if err != nil {
+			return err
+		}
+		if err := b.remove(id); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "deleted", id)
+		return nil
+	default:
+		flag.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func oneID(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", errors.New("expected exactly one job id")
+	}
+	return args[0], nil
+}
+
+func printJSON(v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func cmdSubmit(b backend, local bool, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	var spec jobs.Spec
+	fs.StringVar(&spec.Graph, "graph", "", "graph name (server path or corpus:<name>)")
+	fs.IntVar(&spec.K, "k", 0, "k-plex parameter")
+	fs.IntVar(&spec.Q, "q", 0, "minimum plex size")
+	fs.IntVar(&spec.TopN, "topn", 0, "largest plexes kept (default 10)")
+	fs.IntVar(&spec.Threads, "threads", 0, "engine threads (0: server default)")
+	fs.StringVar(&spec.Scheduler, "scheduler", "", "stages | global-queue | steal")
+	fs.IntVar(&spec.Priority, "priority", 0, "higher runs first")
+	wait := fs.Bool("wait", false, "watch progress and print the result")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	man, err := b.submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "submitted", man.ID)
+	// A local manager dies with this process, so submitting without
+	// waiting would leave the job queued forever; always wait.
+	if !*wait && !local {
+		return printJSON(man)
+	}
+	return waitAndReport(b, man.ID)
+}
+
+func waitAndReport(b backend, id string) error {
+	v, err := b.wait(id)
+	if err != nil {
+		return err
+	}
+	if v.State != jobs.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", id, v.State, v.Error)
+	}
+	res, err := b.result(id)
+	if err != nil {
+		return err
+	}
+	return printJSON(res)
+}
+
+// localLoader resolves graph names the same way kplexd does ("corpus:*"
+// builtins, otherwise files under dataDir) and stamps the content digest
+// the checkpoint identity check needs.
+func localLoader(dataDir string) jobs.GraphLoader {
+	load := server.NewLoader(dataDir)
+	return func(name string) (*graph.Graph, string, func(), error) {
+		g, err := load(name)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return g, graph.DigestHex(g), func() {}, nil
+	}
+}
+
+// localBackend drives an in-process manager.
+type localBackend struct{ m *jobs.Manager }
+
+func (l *localBackend) submit(spec jobs.Spec) (*jobs.Manifest, error) { return l.m.Submit(spec) }
+func (l *localBackend) list() ([]jobs.View, error)                    { return l.m.List(), nil }
+func (l *localBackend) status(id string) (*jobs.View, error)          { return l.m.Get(id) }
+func (l *localBackend) result(id string) (*jobs.Result, error)        { return l.m.Result(id) }
+func (l *localBackend) cancel(id string) error                        { return l.m.Cancel(id) }
+func (l *localBackend) remove(id string) error {
+	if err := l.m.Cancel(id); err == nil {
+		return nil
+	} else if !errors.Is(err, jobs.ErrNotActive) {
+		return err
+	}
+	return l.m.Delete(id)
+}
+func (l *localBackend) close() { l.m.Close() }
+
+func (l *localBackend) wait(id string) (*jobs.View, error) {
+	ch, stop, err := l.m.Subscribe(id)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	for p := range ch {
+		reportProgress(p)
+	}
+	return l.m.Get(id)
+}
+
+// httpBackend talks to a running kplexd.
+type httpBackend struct{ base string }
+
+func (h *httpBackend) close() {}
+
+// do runs one request and decodes the JSON answer (or the error body).
+func (h *httpBackend) do(method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, h.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+func (h *httpBackend) submit(spec jobs.Spec) (*jobs.Manifest, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	var man jobs.Manifest
+	if err := h.do(http.MethodPost, "/jobs", strings.NewReader(string(body)), &man); err != nil {
+		return nil, err
+	}
+	return &man, nil
+}
+
+func (h *httpBackend) list() ([]jobs.View, error) {
+	var views []jobs.View
+	return views, h.do(http.MethodGet, "/jobs", nil, &views)
+}
+
+func (h *httpBackend) status(id string) (*jobs.View, error) {
+	var v jobs.View
+	if err := h.do(http.MethodGet, "/jobs/"+id, nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+func (h *httpBackend) result(id string) (*jobs.Result, error) {
+	var res jobs.Result
+	if err := h.do(http.MethodGet, "/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+func (h *httpBackend) cancel(id string) error {
+	// The dedicated endpoint refuses terminal jobs; DELETE would purge
+	// them (and their results) instead.
+	return h.do(http.MethodPost, "/jobs/"+id+"/cancel", nil, nil)
+}
+
+func (h *httpBackend) remove(id string) error {
+	// DELETE cancels active jobs; a second DELETE purges the terminal one.
+	return h.do(http.MethodDelete, "/jobs/"+id, nil, nil)
+}
+
+// wait follows the NDJSON events feed; if the feed drops (kplexd restart),
+// it falls back to polling until the job is terminal.
+func (h *httpBackend) wait(id string) (*jobs.View, error) {
+	for {
+		resp, err := http.Get(h.base + "/jobs/" + id + "/events")
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return h.status(id) // 404 etc.: let status produce the error
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || line == "{}" {
+				continue
+			}
+			var p jobs.Progress
+			if json.Unmarshal([]byte(line), &p) == nil {
+				reportProgress(p)
+			}
+		}
+		resp.Body.Close()
+		v, err := h.status(id)
+		if err != nil {
+			return nil, err
+		}
+		switch v.State {
+		case jobs.StateDone, jobs.StateFailed, jobs.StateCancelled:
+			return v, nil
+		}
+		// Feed ended but the job is still live (server restarting and
+		// resuming it); re-attach after a beat.
+		time.Sleep(time.Second)
+	}
+}
+
+func reportProgress(p jobs.Progress) {
+	eta := ""
+	if p.ETAMS > 0 {
+		eta = fmt.Sprintf(" eta=%s", (time.Duration(p.ETAMS) * time.Millisecond).Round(time.Second))
+	}
+	fmt.Fprintf(os.Stderr, "%-12s seeds %d/%d  plexes %d  checkpoints %d%s\n",
+		p.State, p.SeedsDone, p.TotalSeeds, p.Plexes, p.Checkpoints, eta)
+}

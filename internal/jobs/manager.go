@@ -1,0 +1,813 @@
+// Package jobs is the durable asynchronous job subsystem: it turns
+// long-running k-plex enumerations into persistent, observable, resumable
+// background work. Each job lives in its own directory under the manager's
+// jobs dir as a JSON manifest (the state machine: queued → running →
+// checkpointed → done/failed/cancelled) plus an append-only WAL of
+// fsynced seed-level checkpoints (see wal.go). The engine's seed hooks
+// (Options.OnSeedDone / OnPlexSeed / SkipSeeds) make the seed group the
+// unit of recovery: contributions are buffered per seed, committed to the
+// cumulative aggregate only when the group completes, and flushed to the
+// WAL every CheckpointSeeds seeds or CheckpointInterval. A manager opened
+// over a directory with interrupted jobs replays their WALs and re-queues
+// them with the completed seeds skipped, so a crash or deploy costs at
+// most one checkpoint interval of work — never the whole run.
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kplex"
+)
+
+// State is a job's position in the lifecycle. Queued and running are
+// volatile; checkpointed means running with durable progress (a manager
+// restart resumes it from the WAL rather than from scratch); done, failed
+// and cancelled are terminal.
+type State string
+
+const (
+	StateQueued       State = "queued"
+	StateRunning      State = "running"
+	StateCheckpointed State = "checkpointed"
+	StateDone         State = "done"
+	StateFailed       State = "failed"
+	StateCancelled    State = "cancelled"
+)
+
+// terminal reports whether s is an end state.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Spec is what a client submits: the result-defining query plus execution
+// knobs. The graph name is resolved by the manager's loader (a kplexd
+// registry name or a data-dir path, depending on the host).
+type Spec struct {
+	Graph     string `json:"graph"`
+	K         int    `json:"k"`
+	Q         int    `json:"q"`
+	TopN      int    `json:"topn,omitempty"`      // largest plexes kept (default 10)
+	Threads   int    `json:"threads,omitempty"`   // 0: manager default
+	Scheduler string `json:"scheduler,omitempty"` // "", stages, global-queue, steal
+	Priority  int    `json:"priority,omitempty"`  // higher runs first
+}
+
+// options builds the engine configuration for one incarnation of the job.
+func (s *Spec) options(defaultThreads int) (kplex.Options, error) {
+	o := kplex.NewOptions(s.K, s.Q)
+	o.Threads = s.Threads
+	if o.Threads <= 0 {
+		o.Threads = defaultThreads
+	}
+	switch s.Scheduler {
+	case "", "stages":
+		o.Scheduler = kplex.SchedulerStages
+	case "global-queue":
+		o.Scheduler = kplex.SchedulerGlobalQueue
+	case "steal":
+		o.Scheduler = kplex.SchedulerSteal
+	default:
+		return kplex.Options{}, fmt.Errorf("jobs: unknown scheduler %q", s.Scheduler)
+	}
+	if o.Threads > 1 {
+		// Same straggler-splitting default as the interactive query path.
+		o.TaskTimeout = 2 * time.Millisecond
+	}
+	return o, o.Validate()
+}
+
+// Manifest is the durable per-job metadata, rewritten atomically on every
+// state transition and checkpoint.
+type Manifest struct {
+	ID         string    `json:"id"`
+	Spec       Spec      `json:"spec"`
+	State      State     `json:"state"`
+	Digest     string    `json:"digest,omitempty"`     // graph content identity, pinned at first run
+	TotalSeeds int       `json:"totalSeeds,omitempty"` // kplex.SeedSpace, pinned at first run
+	SeedsDone  int       `json:"seedsDone"`            // durably checkpointed seeds
+	Resumes    int       `json:"resumes"`              // interrupted incarnations recovered
+	Error      string    `json:"error,omitempty"`
+	CreatedAt  time.Time `json:"createdAt"`
+	StartedAt  time.Time `json:"startedAt,omitzero"`
+	FinishedAt time.Time `json:"finishedAt,omitzero"`
+	// EnumMS is cumulative enumeration wall-clock across incarnations.
+	EnumMS float64 `json:"enumMs,omitempty"`
+}
+
+// Progress is the live view streamed to watchers.
+type Progress struct {
+	State       State   `json:"state"`
+	SeedsDone   int     `json:"seedsDone"` // completed in-memory (≥ durably checkpointed)
+	TotalSeeds  int     `json:"totalSeeds"`
+	Checkpoints int64   `json:"checkpoints"`
+	Plexes      int64   `json:"plexes"`
+	ElapsedMS   float64 `json:"elapsedMs"` // this incarnation
+	ETAMS       float64 `json:"etaMs,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// Result is the completed job's answer, persisted as result.json.
+type Result struct {
+	Count      int64         `json:"count"`
+	MaxSize    int           `json:"maxSize"`
+	TopK       [][]int       `json:"topk"`
+	Histogram  map[int]int64 `json:"histogram"`
+	PlexDigest string        `json:"plexDigest"` // order-independent SHA-256 XOR of the plex set
+	Stats      kplex.Stats   `json:"stats"`
+	ElapsedMS  float64       `json:"elapsedMs"` // cumulative across incarnations
+	Resumes    int           `json:"resumes"`
+}
+
+// View is one job in listings: the manifest plus the live progress.
+type View struct {
+	Manifest
+	Progress Progress `json:"progress"`
+}
+
+// GraphLoader resolves a job's graph name. release must be called when the
+// run is over (registry-backed hosts use it to unpin the graph).
+type GraphLoader func(name string) (g *graph.Graph, digest string, release func(), err error)
+
+// Config tunes a Manager. Dir and Load are required.
+type Config struct {
+	// Dir is the jobs directory; one subdirectory per job.
+	Dir string
+	// Load resolves graph names (required).
+	Load GraphLoader
+	// Workers is the number of concurrent jobs (default 2).
+	Workers int
+	// CheckpointSeeds flushes a WAL record once this many seeds completed
+	// since the last one (default 64), subject to MinCheckpointGap.
+	CheckpointSeeds int
+	// CheckpointInterval flushes pending seeds at least this often while
+	// any completed (default 2s). This is the staleness bound: a crash
+	// loses at most roughly this much finished work.
+	CheckpointInterval time.Duration
+	// MinCheckpointGap rate-limits the seed-count trigger (default 250ms,
+	// negative to disable): on jobs whose seeds complete in microseconds,
+	// fsyncing every CheckpointSeeds would turn durability into the
+	// dominant cost, so batches are only flushed once the gap has passed
+	// (the interval trigger still bounds staleness).
+	MinCheckpointGap time.Duration
+	// DefaultTopN is the top-k size when a spec leaves it zero (default 10).
+	DefaultTopN int
+	// MaxTopN rejects specs asking for more (default 1000).
+	MaxTopN int
+	// DefaultThreads is the engine parallelism when a spec leaves it zero
+	// (default NumCPU).
+	DefaultThreads int
+	// Admit, when non-nil, gates each job's enumeration on the host's
+	// admission control (kplexd passes its query semaphore, so background
+	// jobs and interactive queries share one capacity budget). Jobs block
+	// until a slot frees rather than being rejected.
+	Admit func(ctx context.Context) (release func(), err error)
+	// Logf receives operational log lines (default: discarded).
+	Logf func(format string, args ...any)
+
+	// CrashAfterSeeds is a test failpoint: when > 0, a running job aborts
+	// as if the process had died after completing that many seed groups in
+	// this incarnation — no terminal state is written, so a reopened
+	// manager must recover it from its last checkpoint.
+	CrashAfterSeeds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CheckpointSeeds <= 0 {
+		c.CheckpointSeeds = 64
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 2 * time.Second
+	}
+	switch {
+	case c.MinCheckpointGap < 0:
+		c.MinCheckpointGap = 0
+	case c.MinCheckpointGap == 0:
+		c.MinCheckpointGap = 250 * time.Millisecond
+	}
+	if c.MinCheckpointGap > c.CheckpointInterval {
+		c.MinCheckpointGap = c.CheckpointInterval
+	}
+	if c.DefaultTopN <= 0 {
+		c.DefaultTopN = 10
+	}
+	if c.MaxTopN <= 0 {
+		c.MaxTopN = 1000
+	}
+	if c.DefaultThreads <= 0 {
+		c.DefaultThreads = runtime.NumCPU()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Counters are the manager's monotonic counters and gauges, exported into
+// kplexd's /stats and /metrics.
+type Counters struct {
+	Submitted   atomic.Int64
+	Completed   atomic.Int64
+	Failed      atomic.Int64
+	Cancelled   atomic.Int64
+	Resumed     atomic.Int64 // interrupted jobs recovered at startup
+	Checkpoints atomic.Int64 // WAL records fsynced
+	SeedsDone   atomic.Int64 // seed groups completed (all jobs, all incarnations)
+	Running     atomic.Int64 // gauge
+	Queued      atomic.Int64 // gauge
+}
+
+// Snapshot returns the counters as a map for JSON/Prometheus encoding.
+func (c *Counters) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"jobs_submitted":   c.Submitted.Load(),
+		"jobs_completed":   c.Completed.Load(),
+		"jobs_failed":      c.Failed.Load(),
+		"jobs_cancelled":   c.Cancelled.Load(),
+		"jobs_resumed":     c.Resumed.Load(),
+		"jobs_checkpoints": c.Checkpoints.Load(),
+		"jobs_seeds_done":  c.SeedsDone.Load(),
+		"jobs_running":     c.Running.Load(),
+		"jobs_queued":      c.Queued.Load(),
+	}
+}
+
+// job is the in-memory twin of one job directory.
+type job struct {
+	dir string
+
+	mu       sync.Mutex
+	man      Manifest
+	progress Progress
+	cancel   context.CancelCauseFunc // non-nil while running
+	subs     map[int]chan Progress
+	nextSub  int
+	resume   *walReplay // recovered durable state awaiting the next run
+}
+
+// Manager runs and persists jobs. Create with Open, stop with Close.
+type Manager struct {
+	cfg  Config
+	ctx  context.Context
+	stop context.CancelFunc
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   map[string]*job
+	queue  jobQueue
+	closed bool
+
+	wg       sync.WaitGroup
+	counters Counters
+}
+
+// Sentinel errors mapped to HTTP statuses by the server layer.
+var (
+	ErrNotFound   = errors.New("job not found")
+	ErrNotDone    = errors.New("job has not completed")
+	ErrNotActive  = errors.New("job is not active")
+	ErrActive     = errors.New("job is still active")
+	errCrashpoint = errors.New("jobs: crash failpoint reached")
+	errShutdown   = errors.New("jobs: manager shutting down")
+	errCancelled  = errors.New("jobs: cancelled by request")
+)
+
+// Open creates (or reopens) the manager over cfg.Dir, recovering any jobs
+// a previous process left queued or interrupted, and starts the worker
+// pool.
+func Open(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("jobs: Config.Dir is required")
+	}
+	if cfg.Load == nil {
+		return nil, errors.New("jobs: Config.Load is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{cfg: cfg, jobs: make(map[string]*job)}
+	m.cond = sync.NewCond(&m.mu)
+	m.ctx, m.stop = context.WithCancel(context.Background())
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.workerLoop()
+	}
+	return m, nil
+}
+
+// recover scans the jobs dir and re-queues everything non-terminal.
+func (m *Manager) recover() error {
+	entries, err := os.ReadDir(m.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		dir := filepath.Join(m.cfg.Dir, ent.Name())
+		man, err := readManifest(dir)
+		if err != nil {
+			m.cfg.Logf("jobs: skipping %s: %v", dir, err)
+			continue
+		}
+		j := &job{dir: dir, man: *man, subs: make(map[int]chan Progress)}
+		j.progress = Progress{State: man.State, SeedsDone: man.SeedsDone, TotalSeeds: man.TotalSeeds, Error: man.Error}
+		switch man.State {
+		case StateDone, StateFailed, StateCancelled:
+			// Terminal: index for listings and result retrieval only.
+		case StateRunning, StateCheckpointed:
+			// Interrupted mid-run: replay the WAL and resume. An empty WAL
+			// still counts as a recovered interruption — the incarnation
+			// just died before its first checkpoint.
+			if !m.wireResume(j) {
+				m.jobs[man.ID] = j
+				continue
+			}
+			m.markResumed(j)
+			// In-memory only: the on-disk state stays checkpointed/running
+			// so that dying again before the rerun starts loses nothing —
+			// the next Open simply replays the same WAL. (Persisting
+			// "queued" here would make that next Open treat the job as
+			// never-run and discard the checkpoints.)
+			j.man.State = StateQueued
+			j.man.Error = ""
+			j.progress = Progress{State: StateQueued, SeedsDone: j.man.SeedsDone, TotalSeeds: j.man.TotalSeeds}
+			m.enqueueLocked(j)
+		case StateQueued:
+			// A fresh job has no WAL; wireResume replays defensively anyway
+			// so a dir that somehow pairs a queued manifest with checkpoints
+			// (e.g. written by an older manager version) resumes rather than
+			// re-enumerating and appending colliding sequence numbers.
+			if !m.wireResume(j) {
+				m.jobs[man.ID] = j
+				continue
+			}
+			if j.resume != nil {
+				m.markResumed(j)
+			}
+			m.enqueueLocked(j)
+		default:
+			m.cfg.Logf("jobs: %s: unknown state %q, leaving untouched", man.ID, man.State)
+		}
+		m.jobs[man.ID] = j
+	}
+	return nil
+}
+
+// wireResume replays j's WAL (if any), repairs a torn tail, and arms the
+// in-memory resume state. It reports false — after marking the job failed
+// — when the durable state is unusable. Single-threaded recovery context;
+// no locks held.
+func (m *Manager) wireResume(j *job) bool {
+	walPath := filepath.Join(j.dir, walName)
+	rep, err := replayWAL(walPath)
+	if err != nil {
+		m.failRecovered(j, fmt.Errorf("unrecoverable WAL: %w", err))
+		return false
+	}
+	if rep.truncated {
+		// Cut the torn tail off now: the next incarnation opens the log
+		// with O_APPEND, and writing after a partial line would weld the
+		// two into one CRC-failing line that hides every later record from
+		// every future replay.
+		m.cfg.Logf("jobs: %s: discarding torn WAL tail; resuming from seq %d (%d seeds)", j.man.ID, rep.lastSeq, len(rep.doneSeeds))
+		if err := os.Truncate(walPath, rep.validBytes); err != nil {
+			m.failRecovered(j, fmt.Errorf("truncating torn WAL tail: %w", err))
+			return false
+		}
+	}
+	if rep.lastSeq == 0 {
+		return true // nothing durable yet; the rerun starts from scratch
+	}
+	j.resume = rep
+	j.man.SeedsDone = len(rep.doneSeeds)
+	j.man.EnumMS = rep.enumMS
+	return true
+}
+
+// markResumed scores one recovered interruption on the job and the
+// manager's counters.
+func (m *Manager) markResumed(j *job) {
+	j.man.Resumes++
+	m.counters.Resumed.Add(1)
+}
+
+// failRecovered marks a job that cannot be recovered as failed.
+func (m *Manager) failRecovered(j *job, cause error) {
+	j.man.State = StateFailed
+	j.man.Error = cause.Error()
+	j.man.FinishedAt = time.Now()
+	j.progress.State = StateFailed
+	j.progress.Error = j.man.Error
+	if err := writeManifest(j.dir, &j.man); err != nil {
+		m.cfg.Logf("jobs: %s: %v", j.man.ID, err)
+	}
+	m.counters.Failed.Add(1)
+}
+
+// Close stops accepting work, interrupts running jobs (they flush a final
+// checkpoint, so a subsequent Open resumes them), and waits for the
+// workers to exit.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.stop()
+	m.cond.Broadcast()
+	m.wg.Wait()
+}
+
+// Counters exposes the manager's counters.
+func (m *Manager) Counters() *Counters { return &m.counters }
+
+// newJobID returns a fresh collision-resistant id.
+func newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failing means the host is unusable
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Submit validates spec, persists a queued job and wakes a worker.
+func (m *Manager) Submit(spec Spec) (*Manifest, error) {
+	if spec.Graph == "" {
+		return nil, errors.New("jobs: graph is required")
+	}
+	if spec.TopN == 0 {
+		spec.TopN = m.cfg.DefaultTopN
+	}
+	if spec.TopN < 1 || spec.TopN > m.cfg.MaxTopN {
+		return nil, fmt.Errorf("jobs: topn must be in [1, %d], got %d", m.cfg.MaxTopN, spec.TopN)
+	}
+	if _, err := spec.options(m.cfg.DefaultThreads); err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return nil, errShutdown
+	}
+
+	j := &job{
+		man: Manifest{
+			ID:        newJobID(),
+			Spec:      spec,
+			State:     StateQueued,
+			CreatedAt: time.Now(),
+		},
+		subs: make(map[int]chan Progress),
+	}
+	j.dir = filepath.Join(m.cfg.Dir, j.man.ID)
+	j.progress = Progress{State: StateQueued}
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeManifest(j.dir, &j.man); err != nil {
+		return nil, err
+	}
+
+	man := j.man // copy before a worker can pop the job and mutate it
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		// Close raced the persistence above: a rejected submission must not
+		// leave a durable queued job for the next Open to run as a ghost.
+		os.RemoveAll(j.dir) //nolint:errcheck // best effort on shutdown
+		return nil, errShutdown
+	}
+	m.jobs[j.man.ID] = j
+	m.enqueueLocked(j)
+	m.mu.Unlock()
+	m.counters.Submitted.Add(1)
+	return &man, nil
+}
+
+// enqueueLocked pushes j and signals one worker. Caller holds m.mu (or is
+// inside single-threaded recovery).
+func (m *Manager) enqueueLocked(j *job) {
+	heap.Push(&m.queue, j)
+	m.counters.Queued.Add(1)
+	m.cond.Signal()
+}
+
+// Get returns one job's view.
+func (m *Manager) Get(id string) (*View, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	v := &View{Manifest: j.man, Progress: j.progress}
+	j.mu.Unlock()
+	return v, nil
+}
+
+// List returns every known job, newest first.
+func (m *Manager) List() []View {
+	m.mu.Lock()
+	all := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		all = append(all, j)
+	}
+	m.mu.Unlock()
+	out := make([]View, 0, len(all))
+	for _, j := range all {
+		j.mu.Lock()
+		out = append(out, View{Manifest: j.man, Progress: j.progress})
+		j.mu.Unlock()
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].CreatedAt.Equal(out[k].CreatedAt) {
+			return out[i].CreatedAt.After(out[k].CreatedAt)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Result returns a completed job's answer.
+func (m *Manager) Result(id string) (*Result, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	state := j.man.State
+	j.mu.Unlock()
+	if state != StateDone {
+		return nil, fmt.Errorf("%w (state %s)", ErrNotDone, state)
+	}
+	data, err := os.ReadFile(filepath.Join(j.dir, "result.json"))
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Cancel stops a queued or running job. Terminal jobs return ErrNotActive.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.man.State.terminal():
+		return fmt.Errorf("%w (state %s)", ErrNotActive, j.man.State)
+	case j.cancel != nil:
+		j.cancel(errCancelled)
+		return nil
+	default:
+		// Still queued: mark terminal here; the worker discards it on pop.
+		m.finishLocked(j, StateCancelled, nil)
+		return nil
+	}
+}
+
+// Delete removes a terminal job and its directory. Active jobs must be
+// cancelled first.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	terminal := j.man.State.terminal()
+	j.mu.Unlock()
+	if !terminal {
+		return fmt.Errorf("%w: cancel it first", ErrActive)
+	}
+	m.mu.Lock()
+	delete(m.jobs, id)
+	m.mu.Unlock()
+	return os.RemoveAll(j.dir)
+}
+
+// Subscribe returns a channel of progress updates for the job, starting
+// with its current snapshot; the channel is closed once the job reaches a
+// terminal state. Call the returned stop function to unsubscribe early.
+func (m *Manager) Subscribe(id string) (<-chan Progress, func(), error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan Progress, 16)
+	j.mu.Lock()
+	ch <- j.progress
+	if j.man.State.terminal() {
+		close(ch)
+		j.mu.Unlock()
+		return ch, func() {}, nil
+	}
+	idx := j.nextSub
+	j.nextSub++
+	j.subs[idx] = ch
+	j.mu.Unlock()
+	stop := func() {
+		j.mu.Lock()
+		if c, ok := j.subs[idx]; ok {
+			delete(j.subs, idx)
+			close(c)
+		}
+		j.mu.Unlock()
+	}
+	return ch, stop, nil
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx is done) and
+// returns its final view.
+func (m *Manager) Wait(ctx context.Context, id string) (*View, error) {
+	ch, stop, err := m.Subscribe(id)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case _, ok := <-ch:
+			if !ok {
+				return m.Get(id)
+			}
+		}
+	}
+}
+
+// publishLocked fans the current progress out to subscribers; caller holds
+// j.mu. Slow subscribers drop updates rather than blocking the engine.
+func (j *job) publishLocked() {
+	for _, ch := range j.subs {
+		select {
+		case ch <- j.progress:
+		default:
+		}
+	}
+}
+
+// finishLocked moves j to a terminal state, persists the manifest and
+// closes subscriber channels. Caller holds j.mu.
+func (m *Manager) finishLocked(j *job, state State, cause error) {
+	j.man.State = state
+	j.man.FinishedAt = time.Now()
+	if cause != nil {
+		j.man.Error = cause.Error()
+	}
+	j.progress.State = state
+	j.progress.Error = j.man.Error
+	if err := writeManifest(j.dir, &j.man); err != nil {
+		m.cfg.Logf("jobs: %s: persisting terminal state: %v", j.man.ID, err)
+	}
+	j.publishLocked()
+	for idx, ch := range j.subs {
+		delete(j.subs, idx)
+		close(ch)
+	}
+	switch state {
+	case StateDone:
+		m.counters.Completed.Add(1)
+	case StateFailed:
+		m.counters.Failed.Add(1)
+	case StateCancelled:
+		m.counters.Cancelled.Add(1)
+	}
+}
+
+// workerLoop pops jobs by priority and runs them until Close.
+func (m *Manager) workerLoop() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&m.queue).(*job)
+		m.mu.Unlock()
+		m.counters.Queued.Add(-1)
+
+		m.counters.Running.Add(1)
+		m.runJob(j)
+		m.counters.Running.Add(-1)
+	}
+}
+
+// jobQueue is a priority heap: higher Spec.Priority first, then FIFO.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, k int) bool {
+	if q[i].man.Spec.Priority != q[k].man.Spec.Priority {
+		return q[i].man.Spec.Priority > q[k].man.Spec.Priority
+	}
+	if !q[i].man.CreatedAt.Equal(q[k].man.CreatedAt) {
+		return q[i].man.CreatedAt.Before(q[k].man.CreatedAt)
+	}
+	return q[i].man.ID < q[k].man.ID
+}
+func (q jobQueue) Swap(i, k int) { q[i], q[k] = q[k], q[i] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*job)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return x
+}
+
+// readManifest loads dir/manifest.json.
+func readManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("corrupt manifest: %w", err)
+	}
+	if man.ID == "" {
+		return nil, errors.New("manifest has no job id")
+	}
+	return &man, nil
+}
+
+// writeManifest atomically replaces dir/manifest.json (tmp + rename +
+// fsync), so a crash mid-write leaves the previous version intact.
+func writeManifest(dir string, man *Manifest) error {
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, ".manifest.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "manifest.json")); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory (best effort: not all platforms support it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+}

@@ -1,0 +1,531 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kplex"
+)
+
+// testLoader resolves "corpus:<name>" against the builtin corpus.
+func testLoader(name string) (*graph.Graph, string, func(), error) {
+	cg := gen.CorpusGraphByName(strings.TrimPrefix(name, "corpus:"))
+	if cg == nil {
+		return nil, "", nil, fmt.Errorf("unknown graph %q", name)
+	}
+	g := cg.Build()
+	return g, graph.DigestHex(g), func() {}, nil
+}
+
+// refAggregate computes the uninterrupted ground truth for a (graph, k, q,
+// topn) cell through the same Aggregate arithmetic the job layer uses.
+func refAggregate(t *testing.T, graphName string, k, q, topn int) *Aggregate {
+	t.Helper()
+	g, _, release, err := testLoader(graphName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	agg := NewAggregate(topn)
+	opts := kplex.NewOptions(k, q)
+	opts.OnPlex = func(p []int) { agg.AddPlex(p) }
+	res, err := kplex.Run(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.Stats = res.Stats
+	return agg
+}
+
+func assertMatchesReference(t *testing.T, res *Result, ref *Aggregate) {
+	t.Helper()
+	if res.Count != ref.Count {
+		t.Errorf("count = %d, want %d", res.Count, ref.Count)
+	}
+	if res.MaxSize != ref.MaxSize {
+		t.Errorf("maxSize = %d, want %d", res.MaxSize, ref.MaxSize)
+	}
+	if res.PlexDigest != ref.PlexDigest() {
+		t.Errorf("plex digest = %s, want %s (result set differs)", res.PlexDigest, ref.PlexDigest())
+	}
+	if len(res.Histogram) != len(ref.Histogram) {
+		t.Errorf("histogram has %d sizes, want %d", len(res.Histogram), len(ref.Histogram))
+	}
+	for s, c := range ref.Histogram {
+		if res.Histogram[s] != c {
+			t.Errorf("histogram[%d] = %d, want %d", s, res.Histogram[s], c)
+		}
+	}
+	if len(res.TopK) != len(ref.TopK) {
+		t.Fatalf("topk has %d entries, want %d", len(res.TopK), len(ref.TopK))
+	}
+	for i := range ref.TopK {
+		if len(res.TopK[i]) != len(ref.TopK[i]) {
+			t.Fatalf("topk[%d] has size %d, want %d", i, len(res.TopK[i]), len(ref.TopK[i]))
+		}
+		for j := range ref.TopK[i] {
+			if res.TopK[i][j] != ref.TopK[i][j] {
+				t.Fatalf("topk[%d] = %v, want %v", i, res.TopK[i], ref.TopK[i])
+			}
+		}
+	}
+	if res.Stats.Emitted != ref.Count {
+		t.Errorf("stats.Emitted = %d, want %d", res.Stats.Emitted, ref.Count)
+	}
+}
+
+func openTestManager(t *testing.T, dir string, mutate func(*Config)) *Manager {
+	t.Helper()
+	cfg := Config{
+		Dir:             dir,
+		Load:            testLoader,
+		Workers:         1,
+		CheckpointSeeds: 4,
+		// The corpus graphs enumerate in milliseconds; disable the fsync
+		// rate limit so the seed-count trigger fires deterministically.
+		MinCheckpointGap: -1,
+		DefaultThreads:   2,
+		Logf:             t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func waitDone(t *testing.T, m *Manager, id string) *View {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	v, err := m.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("waiting for %s: %v", id, err)
+	}
+	return v
+}
+
+func TestJobLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	m := openTestManager(t, dir, nil)
+	defer m.Close()
+
+	man, err := m.Submit(Spec{Graph: "corpus:planted-a", K: 2, Q: 6, TopN: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.State != StateQueued {
+		t.Fatalf("state after submit = %s, want queued", man.State)
+	}
+	v := waitDone(t, m, man.ID)
+	if v.State != StateDone {
+		t.Fatalf("final state = %s (error %q), want done", v.State, v.Error)
+	}
+	if v.SeedsDone != v.TotalSeeds || v.TotalSeeds == 0 {
+		t.Fatalf("seedsDone = %d / %d, want all", v.SeedsDone, v.TotalSeeds)
+	}
+	res, err := m.Result(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesReference(t, res, refAggregate(t, "corpus:planted-a", 2, 6, 5))
+
+	// The job survives a reopen as a terminal listing with its result.
+	m.Close()
+	m2 := openTestManager(t, dir, nil)
+	defer m2.Close()
+	res2, err := m2.Result(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Count != res.Count || res2.PlexDigest != res.PlexDigest {
+		t.Fatal("result changed across reopen")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := openTestManager(t, t.TempDir(), nil)
+	defer m.Close()
+	for _, spec := range []Spec{
+		{K: 2, Q: 6},                           // no graph
+		{Graph: "g", K: 0, Q: 6},               // bad k
+		{Graph: "g", K: 2, Q: 2},               // q < 2k-1
+		{Graph: "g", K: 2, Q: 6, TopN: -1},     // bad topn
+		{Graph: "g", K: 2, Q: 6, TopN: 100000}, // topn over cap
+		{Graph: "g", K: 2, Q: 6, Scheduler: "lifo"},
+	} {
+		if _, err := m.Submit(spec); err == nil {
+			t.Errorf("Submit(%+v) accepted", spec)
+		}
+	}
+	if _, err := m.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(unknown) = %v, want ErrNotFound", err)
+	}
+	if err := m.Cancel("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Cancel(unknown) = %v, want ErrNotFound", err)
+	}
+}
+
+// waitCrashed polls until the manager has parked the crashed incarnation:
+// at least one checkpoint written and nothing running.
+func waitCrashed(t *testing.T, m *Manager) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		c := m.Counters()
+		if c.Checkpoints.Load() >= 1 && c.Running.Load() == 0 && c.Queued.Load() == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job never reached the crash failpoint")
+}
+
+// TestCrashResume is the acceptance test: kill a job mid-run after M
+// seeds, reopen the manager over the same directory, and require the
+// resumed result to be identical (count, top-k, histogram, order-
+// independent plex-set digest) to an uninterrupted run — for every
+// scheduler.
+func TestCrashResume(t *testing.T) {
+	const graphName, k, q, topn = "corpus:planted-overlap", 2, 6, 7
+	ref := refAggregate(t, graphName, k, q, topn)
+
+	for _, sched := range []string{"stages", "global-queue", "steal"} {
+		t.Run(sched, func(t *testing.T) {
+			dir := t.TempDir()
+
+			// Incarnation 1: crash after 6 completed seed groups.
+			m1 := openTestManager(t, dir, func(c *Config) {
+				c.CrashAfterSeeds = 6
+				c.CheckpointSeeds = 2
+			})
+			man, err := m1.Submit(Spec{Graph: graphName, K: k, Q: q, TopN: topn, Scheduler: sched, Threads: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitCrashed(t, m1)
+			m1.Close()
+
+			// The directory must show an interrupted, checkpointed job.
+			onDisk, err := readManifest(filepath.Join(dir, man.ID))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if onDisk.State != StateCheckpointed {
+				t.Fatalf("state on disk after crash = %s, want checkpointed", onDisk.State)
+			}
+			if onDisk.SeedsDone == 0 || onDisk.SeedsDone >= onDisk.TotalSeeds {
+				t.Fatalf("crash left %d/%d seeds done; the failpoint must interrupt mid-run", onDisk.SeedsDone, onDisk.TotalSeeds)
+			}
+
+			// Incarnation 2: recover and run to completion.
+			m2 := openTestManager(t, dir, nil)
+			defer m2.Close()
+			if got := m2.Counters().Resumed.Load(); got != 1 {
+				t.Fatalf("resumed counter = %d, want 1", got)
+			}
+			v := waitDone(t, m2, man.ID)
+			if v.State != StateDone {
+				t.Fatalf("resumed job ended %s (error %q), want done", v.State, v.Error)
+			}
+			if v.Resumes != 1 {
+				t.Errorf("manifest resumes = %d, want 1", v.Resumes)
+			}
+			res, err := m2.Result(man.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Resumes != 1 {
+				t.Errorf("result resumes = %d, want 1", res.Resumes)
+			}
+			assertMatchesReference(t, res, ref)
+		})
+	}
+}
+
+// TestShutdownResume interrupts a job with a graceful manager Close (the
+// deploy case, not the crash case): the manager flushes a final
+// checkpoint, the on-disk state stays non-terminal, and a reopened
+// manager must finish the job with results identical to an uninterrupted
+// run. This also covers two review-found hazards: seed groups truncated by
+// the shutdown cancellation must not be committed as complete, and a
+// manager that recovers a job but dies again before re-running it (here:
+// while it is parked behind admission) must not lose the checkpoints.
+func TestShutdownResume(t *testing.T) {
+	const graphName, k, q, topn = "corpus:planted-overlap", 2, 6, 7
+	ref := refAggregate(t, graphName, k, q, topn)
+	dir := t.TempDir()
+
+	// Incarnation 1: close the manager mid-run.
+	started := make(chan struct{}, 8)
+	m1 := openTestManager(t, dir, func(c *Config) {
+		c.CheckpointSeeds = 2
+		load := c.Load
+		c.Load = func(name string) (*graph.Graph, string, func(), error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			return load(name)
+		}
+	})
+	man, err := m1.Submit(Spec{Graph: graphName, K: k, Q: q, TopN: topn, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	m1.Close()
+
+	onDisk, err := readManifest(filepath.Join(dir, man.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.State.terminal() {
+		t.Skipf("job finished before the shutdown landed (state %s); nothing to resume", onDisk.State)
+	}
+
+	// Incarnation 2: recover, but die again before the rerun gets past
+	// admission. The on-disk state must still be resumable afterwards.
+	gate := make(chan struct{})
+	m2 := openTestManager(t, dir, func(c *Config) {
+		c.Admit = func(ctx context.Context) (func(), error) {
+			select {
+			case <-gate:
+				return func() {}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	})
+	if got := m2.Counters().Resumed.Load(); got != 1 {
+		t.Fatalf("incarnation 2 resumed counter = %d, want 1", got)
+	}
+	time.Sleep(20 * time.Millisecond) // let the worker park in Admit
+	m2.Close()
+	close(gate)
+
+	// Incarnation 3: run to completion and compare.
+	m3 := openTestManager(t, dir, nil)
+	defer m3.Close()
+	v := waitDone(t, m3, man.ID)
+	if v.State != StateDone {
+		t.Fatalf("resumed job ended %s (%q), want done", v.State, v.Error)
+	}
+	res, err := m3.Result(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesReference(t, res, ref)
+}
+
+// TestTornWALTail corrupts the log's tail after a crash; recovery must
+// fall back to the last intact checkpoint and still converge to the
+// reference result.
+func TestTornWALTail(t *testing.T) {
+	const graphName, k, q, topn = "corpus:sbm-blocks", 2, 6, 5
+	dir := t.TempDir()
+
+	m1 := openTestManager(t, dir, func(c *Config) {
+		c.CrashAfterSeeds = 6
+		c.CheckpointSeeds = 2
+	})
+	man, err := m1.Submit(Spec{Graph: graphName, K: k, Q: q, TopN: topn, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCrashed(t, m1)
+	m1.Close()
+
+	walPath := filepath.Join(dir, man.ID, walName)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("deadbeef {\"seq\":999,\"tor"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2 := openTestManager(t, dir, nil)
+	defer m2.Close()
+	v := waitDone(t, m2, man.ID)
+	if v.State != StateDone {
+		t.Fatalf("job ended %s (error %q), want done", v.State, v.Error)
+	}
+	res, err := m2.Result(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesReference(t, res, refAggregate(t, graphName, k, q, topn))
+
+	// The torn tail must have been cut before the resumed incarnation
+	// appended, so a full replay now reads every record — including the
+	// post-resume ones — and covers the whole seed space.
+	rep, err := replayWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.truncated {
+		t.Fatal("resumed WAL still has a corrupt line; the tail was not truncated before appending")
+	}
+	if len(rep.doneSeeds) != v.TotalSeeds {
+		t.Fatalf("final WAL replay covers %d of %d seeds", len(rep.doneSeeds), v.TotalSeeds)
+	}
+}
+
+func TestCancelQueuedAndDelete(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	m := openTestManager(t, dir, func(c *Config) {
+		c.Admit = func(ctx context.Context) (func(), error) {
+			select {
+			case <-gate:
+				return func() {}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	})
+	defer m.Close()
+
+	running, err := m.Submit(Spec{Graph: "corpus:planted-a", K: 2, Q: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(Spec{Graph: "corpus:planted-a", K: 2, Q: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The second job sits in the queue behind the single admission-gated
+	// worker; cancelling it must not need the worker at all.
+	if err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Get(queued.ID); v.State != StateCancelled {
+		t.Fatalf("queued job state = %s, want cancelled", v.State)
+	}
+
+	// Cancel the admission-blocked job too, then let the gate go.
+	if err := m.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, m, running.ID)
+	if v.State != StateCancelled {
+		t.Fatalf("running job state = %s, want cancelled", v.State)
+	}
+
+	// Delete works on terminal jobs only, and removes the directory.
+	if err := m.Delete(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, queued.ID)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("job directory survived Delete")
+	}
+	if _, err := m.Get(queued.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted job still listed")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	gate := make(chan struct{})
+	m := openTestManager(t, t.TempDir(), func(c *Config) {
+		c.Admit = func(ctx context.Context) (func(), error) {
+			select {
+			case <-gate:
+				return func() {}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	})
+	defer m.Close()
+
+	blocker, err := m.Submit(Spec{Graph: "corpus:planted-a", K: 2, Q: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := m.Submit(Spec{Graph: "corpus:planted-a", K: 2, Q: 7, Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := m.Submit(Spec{Graph: "corpus:planted-a", K: 2, Q: 8, Priority: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	for _, id := range []string{blocker.ID, low.ID, high.ID} {
+		if v := waitDone(t, m, id); v.State != StateDone {
+			t.Fatalf("%s ended %s", id, v.State)
+		}
+	}
+	vLow, _ := m.Get(low.ID)
+	vHigh, _ := m.Get(high.ID)
+	if !vHigh.StartedAt.Before(vLow.StartedAt) {
+		t.Fatalf("priority 9 started %v, after priority 1 at %v", vHigh.StartedAt, vLow.StartedAt)
+	}
+}
+
+func TestDigestMismatchFailsResume(t *testing.T) {
+	dir := t.TempDir()
+	which := "corpus:planted-a"
+	loader := func(name string) (*graph.Graph, string, func(), error) {
+		return testLoader(which)
+	}
+	m1 := openTestManager(t, dir, func(c *Config) {
+		c.Load = loader
+		c.CrashAfterSeeds = 3
+		c.CheckpointSeeds = 1
+	})
+	man, err := m1.Submit(Spec{Graph: "g", K: 2, Q: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCrashed(t, m1)
+	m1.Close()
+
+	// The "file" now has different content: resuming must refuse rather
+	// than merge checkpoints from a different graph.
+	which = "corpus:sbm-blocks"
+	m2 := openTestManager(t, dir, func(c *Config) { c.Load = loader })
+	defer m2.Close()
+	v := waitDone(t, m2, man.ID)
+	if v.State != StateFailed || !strings.Contains(v.Error, "content changed") {
+		t.Fatalf("resume against changed graph ended %s (%q), want failed with digest mismatch", v.State, v.Error)
+	}
+}
+
+func TestSubscribeSeesTerminalState(t *testing.T) {
+	m := openTestManager(t, t.TempDir(), nil)
+	defer m.Close()
+	man, err := m.Submit(Spec{Graph: "corpus:planted-a", K: 2, Q: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, man.ID)
+	// Subscribing after completion must yield the terminal snapshot and a
+	// closed channel, not a hang.
+	ch, stop, err := m.Subscribe(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	first, ok := <-ch
+	if !ok || first.State != StateDone {
+		t.Fatalf("first update = %+v (open=%v), want done", first, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after terminal state")
+	}
+}

@@ -1,0 +1,430 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/kplex"
+)
+
+// jobRun is the volatile state of one incarnation of a running job.
+type jobRun struct {
+	m   *Manager
+	j   *job
+	wal *wal
+
+	// buffers[seed] accumulates the seed group's contributions until
+	// OnSeedDone commits them; indexed by seed id, so the per-plex hot path
+	// is a slice access plus one cold per-seed mutex.
+	buffers []seedBuffer
+	topN    int
+
+	mu           sync.Mutex
+	agg          *Aggregate // cumulative over all committed seeds (incl. resumed)
+	pendingSeeds []int      // committed in memory, not yet in the WAL
+	seedsDone    int        // committed seeds, incl. resumed ones
+	doneThisRun  int
+	lastCkpt     time.Time
+	lastPublish  time.Time
+	started      time.Time
+	baseEnumMS   float64 // enumeration time of previous incarnations
+	crashed      bool
+
+	cancel context.CancelCauseFunc
+}
+
+type seedBuffer struct {
+	mu  sync.Mutex
+	agg *Aggregate
+}
+
+// runJob executes one incarnation of j: load the graph, wire the seed
+// hooks, enumerate with the resumed seeds skipped, checkpointing along the
+// way, and land in a terminal state — unless the incarnation is
+// interrupted (shutdown or the crash failpoint), in which case the durable
+// state is left for the next Open to resume.
+func (m *Manager) runJob(j *job) {
+	// Register the cancel hook before ANY work, in the same critical
+	// section that re-checks the state. From here on Manager.Cancel always
+	// goes through the context — it can never take the "still queued"
+	// branch and mark a job terminal while this worker keeps running it
+	// (which would let a Delete remove the directory under the active run).
+	runCtx, cancel := context.WithCancelCause(m.ctx)
+	defer cancel(nil)
+	j.mu.Lock()
+	if j.man.State != StateQueued {
+		// Cancelled while it sat in the queue.
+		j.mu.Unlock()
+		return
+	}
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	err := m.runJobInner(j, runCtx, cancel)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		m.finishLocked(j, StateDone, nil)
+	case errors.Is(err, errCrashpoint):
+		// Simulated process death: leave the durable state exactly as a
+		// crash would. The in-memory job is parked (not re-queued): a real
+		// crash takes the process with it, and tests reopen the directory
+		// with a fresh manager to exercise recovery.
+		m.cfg.Logf("jobs: %s: crash failpoint hit", j.man.ID)
+	case errors.Is(err, errShutdown):
+		// Manager closing: the final checkpoint was flushed; recovery
+		// resumes this job on the next Open.
+	case errors.Is(err, errCancelled):
+		m.finishLocked(j, StateCancelled, nil)
+	default:
+		m.finishLocked(j, StateFailed, err)
+	}
+}
+
+func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.CancelCauseFunc) error {
+	j.mu.Lock()
+	spec := j.man.Spec
+	resume := j.resume
+	j.resume = nil
+	j.mu.Unlock()
+
+	opts, err := spec.options(m.cfg.DefaultThreads)
+	if err != nil {
+		return err
+	}
+
+	g, digest, release, err := m.cfg.Load(spec.Graph)
+	if err != nil {
+		return fmt.Errorf("loading graph %q: %w", spec.Graph, err)
+	}
+	defer release()
+
+	totalSeeds, err := kplex.SeedSpace(g, opts)
+	if err != nil {
+		return err
+	}
+
+	// Pin (or verify) the identity of the decomposition the checkpoints
+	// refer to. A changed graph file or seed space makes every persisted
+	// seed id meaningless, so resuming would silently corrupt the result.
+	j.mu.Lock()
+	switch {
+	case j.man.Digest == "":
+		j.man.Digest = digest
+		j.man.TotalSeeds = totalSeeds
+	case j.man.Digest != digest:
+		j.mu.Unlock()
+		return fmt.Errorf("graph %q content changed since the job was checkpointed (digest %s, was %s); delete and resubmit", spec.Graph, digest[:12], j.man.Digest[:12])
+	case j.man.TotalSeeds != totalSeeds:
+		j.mu.Unlock()
+		return fmt.Errorf("seed space changed since the job was checkpointed (%d, was %d); delete and resubmit", totalSeeds, j.man.TotalSeeds)
+	}
+	j.mu.Unlock()
+
+	// Share the host's enumeration capacity with interactive queries.
+	if m.cfg.Admit != nil {
+		releaseSlot, err := m.cfg.Admit(runCtx)
+		if err != nil {
+			return m.interruptCause(runCtx, err)
+		}
+		defer releaseSlot()
+	}
+
+	r := &jobRun{
+		m:       m,
+		j:       j,
+		topN:    spec.TopN,
+		buffers: make([]seedBuffer, totalSeeds),
+		agg:     NewAggregate(spec.TopN),
+		started: time.Now(),
+		cancel:  cancel,
+	}
+	r.lastCkpt = r.started
+
+	// Rebuild the durable state of previous incarnations.
+	var skip *kplex.SeedSet
+	if resume != nil && len(resume.doneSeeds) > 0 {
+		skip = kplex.NewSeedSet(resume.doneSeeds...)
+		if skip.Max() >= totalSeeds {
+			return fmt.Errorf("checkpoint names seed %d outside the %d-seed space; delete and resubmit", skip.Max(), totalSeeds)
+		}
+		r.agg = resume.agg
+		r.agg.TopN = spec.TopN
+		r.seedsDone = len(resume.doneSeeds)
+		r.baseEnumMS = resume.enumMS
+	}
+	lastSeq := 0
+	if resume != nil {
+		lastSeq = resume.lastSeq
+	}
+	r.wal, err = openWAL(filepath.Join(j.dir, walName), lastSeq)
+	if err != nil {
+		return err
+	}
+	defer r.wal.Close()
+
+	j.mu.Lock()
+	j.man.State = StateRunning
+	if resume != nil && r.seedsDone > 0 {
+		j.man.State = StateCheckpointed // durable progress exists already
+	}
+	if j.man.StartedAt.IsZero() {
+		j.man.StartedAt = time.Now()
+	}
+	j.progress = Progress{
+		State:      j.man.State,
+		SeedsDone:  r.seedsDone,
+		TotalSeeds: totalSeeds,
+		Plexes:     r.agg.Count,
+	}
+	if err := writeManifest(j.dir, &j.man); err != nil {
+		m.cfg.Logf("jobs: %s: %v", j.man.ID, err)
+	}
+	j.publishLocked()
+	j.mu.Unlock()
+
+	opts.SkipSeeds = skip
+	opts.OnPlexSeed = r.onPlex
+	opts.OnSeedDone = r.onSeedDone
+
+	// Interval flusher: a job whose seeds complete slowly must still
+	// checkpoint every CheckpointInterval.
+	flusherDone := make(chan struct{})
+	go func() {
+		defer close(flusherDone)
+		t := time.NewTicker(m.cfg.CheckpointInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-t.C:
+				r.mu.Lock()
+				if len(r.pendingSeeds) > 0 && time.Since(r.lastCkpt) >= m.cfg.CheckpointInterval {
+					r.flushLocked()
+				}
+				r.mu.Unlock()
+			}
+		}
+	}()
+
+	_, runErr := kplex.Run(runCtx, g, opts)
+	cancel(nil)
+	<-flusherDone
+
+	// Flush whatever completed, whether we finished or were cancelled — a
+	// graceful shutdown should cost zero completed seeds. The crash
+	// failpoint deliberately skips this so recovery is exercised against
+	// lost (completed but never flushed) seed groups, like a real crash.
+	r.mu.Lock()
+	crashed := r.crashed
+	if !crashed {
+		r.flushLocked()
+	}
+	r.mu.Unlock()
+
+	if runErr != nil || crashed {
+		return m.interruptCause(runCtx, runErr)
+	}
+
+	// Sanity: every seed must have reported (completed groups + resumed).
+	if r.seedsDone != totalSeeds {
+		return fmt.Errorf("internal accounting error: %d of %d seeds reported done", r.seedsDone, totalSeeds)
+	}
+
+	elapsedMS := r.baseEnumMS + float64(time.Since(r.started))/float64(time.Millisecond)
+
+	j.mu.Lock()
+	resumes := j.man.Resumes
+	j.man.EnumMS = elapsedMS
+	// The terminal publish in finishLocked sends j.progress; make it carry
+	// the final numbers, not the last throttled snapshot.
+	j.progress = Progress{
+		State:       StateRunning, // finishLocked sets the terminal state
+		SeedsDone:   r.seedsDone,
+		TotalSeeds:  totalSeeds,
+		Checkpoints: int64(r.wal.seq),
+		Plexes:      r.agg.Count,
+		ElapsedMS:   float64(time.Since(r.started)) / float64(time.Millisecond),
+	}
+	j.mu.Unlock()
+
+	final := Result{
+		Count:      r.agg.Count,
+		MaxSize:    r.agg.MaxSize,
+		TopK:       r.agg.TopK,
+		Histogram:  r.agg.Histogram,
+		PlexDigest: r.agg.PlexDigest(),
+		Stats:      r.agg.Stats,
+		ElapsedMS:  elapsedMS,
+		Resumes:    resumes,
+	}
+	if final.TopK == nil {
+		final.TopK = [][]int{}
+	}
+	if final.Histogram == nil {
+		final.Histogram = map[int]int64{}
+	}
+	return writeResult(j.dir, &final)
+}
+
+// interruptCause classifies why an incarnation stopped early, preferring
+// the recorded cancel cause (crash failpoint, explicit cancel) over the
+// generic context error.
+func (m *Manager) interruptCause(ctx context.Context, fallback error) error {
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(cause, errCrashpoint) || errors.Is(cause, errCancelled):
+		return cause
+	case m.ctx.Err() != nil:
+		return errShutdown
+	case fallback != nil:
+		return fallback
+	default:
+		return cause
+	}
+}
+
+// onPlex buffers one plex into its seed group's pending aggregate.
+func (r *jobRun) onPlex(seed int, plex []int) {
+	buf := &r.buffers[seed]
+	buf.mu.Lock()
+	if buf.agg == nil {
+		buf.agg = NewAggregate(r.topN)
+	}
+	buf.agg.AddPlex(plex)
+	buf.mu.Unlock()
+}
+
+// onSeedDone commits a completed seed group to the cumulative aggregate
+// and checkpoints when the batch or interval threshold is reached.
+func (r *jobRun) onSeedDone(seed int, partial kplex.Stats) {
+	buf := &r.buffers[seed]
+	buf.mu.Lock()
+	a := buf.agg
+	buf.agg = nil
+	buf.mu.Unlock()
+
+	r.mu.Lock()
+	if a != nil {
+		r.agg.Merge(a)
+	}
+	r.agg.Stats.Add(partial)
+	r.pendingSeeds = append(r.pendingSeeds, seed)
+	r.seedsDone++
+	r.doneThisRun++
+	r.m.counters.SeedsDone.Add(1)
+	// Seed-count trigger, rate-limited so fast seeds don't turn every
+	// batch into an fsync; the interval trigger bounds staleness either
+	// way (the ticker goroutine covers jobs whose seeds stop completing).
+	gap := time.Since(r.lastCkpt)
+	if (len(r.pendingSeeds) >= r.m.cfg.CheckpointSeeds && gap >= r.m.cfg.MinCheckpointGap) ||
+		gap >= r.m.cfg.CheckpointInterval {
+		r.flushLocked()
+	}
+	if fp := r.m.cfg.CrashAfterSeeds; fp > 0 && r.doneThisRun >= fp && !r.crashed {
+		r.crashed = true
+		r.cancel(errCrashpoint)
+	}
+	publish := time.Since(r.lastPublish) >= 200*time.Millisecond
+	var progress Progress
+	if publish {
+		r.lastPublish = time.Now()
+		progress = r.progressLocked()
+	}
+	r.mu.Unlock()
+
+	if publish {
+		r.j.mu.Lock()
+		r.j.progress = progress
+		r.j.publishLocked()
+		r.j.mu.Unlock()
+	}
+}
+
+// progressLocked snapshots live progress; caller holds r.mu.
+func (r *jobRun) progressLocked() Progress {
+	elapsed := time.Since(r.started)
+	p := Progress{
+		State:      StateRunning,
+		SeedsDone:  r.seedsDone,
+		TotalSeeds: len(r.buffers),
+		Plexes:     r.agg.Count,
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+	}
+	if r.wal.seq > 0 {
+		p.State = StateCheckpointed
+	}
+	p.Checkpoints = int64(r.wal.seq)
+	if r.doneThisRun > 0 {
+		remaining := len(r.buffers) - r.seedsDone
+		perSeed := float64(elapsed) / float64(r.doneThisRun)
+		p.ETAMS = perSeed * float64(remaining) / float64(time.Millisecond)
+	}
+	return p
+}
+
+// flushLocked appends a WAL checkpoint covering the pending seeds and
+// updates the manifest. Caller holds r.mu. Errors are logged, not fatal:
+// the job keeps running and the seeds stay pending for the next flush.
+func (r *jobRun) flushLocked() {
+	if len(r.pendingSeeds) == 0 {
+		return
+	}
+	enumMS := r.baseEnumMS + float64(time.Since(r.started))/float64(time.Millisecond)
+	rec := &walRecord{
+		Seeds:  r.pendingSeeds,
+		Agg:    r.agg.snapshot(),
+		EnumMS: enumMS,
+	}
+	if err := r.wal.append(rec); err != nil {
+		r.m.cfg.Logf("jobs: %s: checkpoint write failed (retrying next flush): %v", r.j.man.ID, err)
+		return
+	}
+	r.pendingSeeds = nil
+	r.lastCkpt = time.Now()
+	r.m.counters.Checkpoints.Add(1)
+
+	j := r.j
+	j.mu.Lock()
+	first := j.man.State != StateCheckpointed
+	j.man.State = StateCheckpointed
+	j.man.SeedsDone = r.seedsDone
+	j.man.EnumMS = enumMS
+	if first {
+		// Only the first checkpoint needs the manifest rewrite (the state
+		// transition). SeedsDone on disk may go stale after that — recovery
+		// derives it from the WAL replay, and live listings read Progress —
+		// so steady-state checkpoints cost exactly one fsync, the WAL's.
+		if err := writeManifest(j.dir, &j.man); err != nil {
+			r.m.cfg.Logf("jobs: %s: %v", j.man.ID, err)
+		}
+	}
+	j.mu.Unlock()
+}
+
+// writeResult persists the final answer next to the manifest.
+func writeResult(dir string, res *Result) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, ".result.tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "result.json")); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}

@@ -1,0 +1,164 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+)
+
+// The per-job write-ahead log: an append-only NDJSON file in the job
+// directory whose records are checkpoints. Each record carries the seed
+// groups completed since the previous record and a full snapshot of the
+// cumulative aggregate at that point, so replay is "union the seed deltas,
+// keep the last aggregate" — the aggregate in record i by construction
+// covers exactly the union of seeds in records 1..i. Every line is
+// prefixed with a CRC32 of its JSON payload; replay stops at the first
+// line that fails the check, which is how a torn tail from a crash mid-
+// write degrades into "resume from the previous checkpoint" instead of a
+// corrupt job.
+
+const walName = "wal.ndjson"
+
+// walRecord is one fsynced checkpoint.
+type walRecord struct {
+	Seq   int        `json:"seq"`
+	Seeds []int      `json:"seeds"` // completed since the previous record
+	Agg   *Aggregate `json:"agg"`   // cumulative, covering all seeds so far
+	// EnumMS is the cumulative enumeration wall-clock of the job across
+	// incarnations up to this checkpoint, for honest elapsed reporting
+	// after a resume.
+	EnumMS float64 `json:"enumMs"`
+}
+
+// wal appends checkpoint records durably.
+type wal struct {
+	f   *os.File
+	seq int
+}
+
+// openWAL opens (creating if needed) the job's log for appending and
+// returns it positioned after the existing records.
+func openWAL(path string, lastSeq int) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, seq: lastSeq}, nil
+}
+
+// append writes rec with the next sequence number and fsyncs. The record's
+// aggregate must already be sealed (see Aggregate.seal). The sequence
+// number only advances on success, so a failed append is simply retried at
+// the next flush — after truncating back to the pre-append size, because a
+// short write would otherwise leave a newline-less partial line that the
+// retry welds into one CRC-failing line, hiding every later record from
+// replay. (If even the truncate fails the disk is gone; crash recovery's
+// torn-tail handling is the remaining backstop.)
+func (w *wal) append(rec *walRecord) error {
+	rec.Seq = w.seq + 1
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	st, err := w.f.Stat()
+	if err != nil {
+		return err
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	if _, err := w.f.WriteString(line); err != nil {
+		w.f.Truncate(st.Size()) //nolint:errcheck // best effort, see above
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Truncate(st.Size()) //nolint:errcheck
+		return err
+	}
+	w.seq++
+	return nil
+}
+
+func (w *wal) Close() error { return w.f.Close() }
+
+// walReplay is the durable state reconstructed from a log.
+type walReplay struct {
+	doneSeeds  []int
+	agg        *Aggregate // nil when the log holds no valid record
+	lastSeq    int
+	enumMS     float64
+	truncated  bool  // a torn or corrupt tail was discarded
+	validBytes int64 // length of the intact record prefix
+}
+
+// replayWAL reads the log at path, verifying each line's checksum and
+// stopping at the first damaged one. A missing file is an empty log. A
+// final line without its trailing newline is torn even when its CRC
+// happens to pass — the record's durability ends at the newline, and
+// leaving it in place would let the next O_APPEND incarnation weld its
+// first record onto it into one unreadable line.
+func replayWAL(path string) (*walReplay, error) {
+	rep := &walReplay{}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return rep, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	seen := make(map[int]bool)
+	rest := data
+	for len(rest) > 0 {
+		idx := bytes.IndexByte(rest, '\n')
+		if idx < 0 {
+			rep.truncated = true // unterminated tail
+			break
+		}
+		line := rest[:idx]
+		crcHex, payload, ok := strings.Cut(string(line), " ")
+		if !ok || len(crcHex) != 8 {
+			rep.truncated = true
+			break
+		}
+		var want uint32
+		if _, err := fmt.Sscanf(crcHex, "%08x", &want); err != nil {
+			rep.truncated = true
+			break
+		}
+		if crc32.ChecksumIEEE([]byte(payload)) != want {
+			rep.truncated = true
+			break
+		}
+		var rec walRecord
+		if err := json.Unmarshal([]byte(payload), &rec); err != nil || rec.Agg == nil {
+			rep.truncated = true
+			break
+		}
+		if rec.Seq != rep.lastSeq+1 {
+			// A sequence gap means an earlier record was lost; everything
+			// after it is unusable.
+			rep.truncated = true
+			break
+		}
+		if err := rec.Agg.unseal(); err != nil {
+			rep.truncated = true
+			break
+		}
+		for _, s := range rec.Seeds {
+			if s < 0 || seen[s] {
+				return nil, fmt.Errorf("jobs: WAL record %d repeats or corrupts seed %d", rec.Seq, s)
+			}
+			seen[s] = true
+			rep.doneSeeds = append(rep.doneSeeds, s)
+		}
+		rep.agg = rec.Agg
+		rep.lastSeq = rec.Seq
+		rep.enumMS = rec.EnumMS
+		rep.validBytes += int64(idx) + 1
+		rest = rest[idx+1:]
+	}
+	return rep, nil
+}

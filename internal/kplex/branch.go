@@ -42,6 +42,11 @@ type worker struct {
 	taskStart  time.Time
 	splitting  bool // timeout splitting enabled for the current run
 	branchTick int  // cancellation poll counter
+
+	// mark is the seed-attribution watermark: the value of stats at the end
+	// of the previous settled segment (one task, or one generation phase).
+	// Only maintained when Options.OnSeedDone is set.
+	mark Stats
 }
 
 func (w *worker) prepare(sg *seedGraph) {
@@ -66,6 +71,9 @@ func (w *worker) runTask(t *task) {
 	w.stats.Tasks++
 	w.taskStart = time.Now()
 	w.branch(t.sg, t.P, t.C, t.X, t.sizeP)
+	if tr := t.sg.track; tr != nil {
+		w.settleRelease(tr)
+	}
 }
 
 // recurse either descends into the child branch directly or, when the
@@ -366,8 +374,8 @@ func (w *worker) emit(sg *seedGraph, P *bitset.Set) {
 	if w.eng.opts.FirstOnly {
 		defer w.eng.stop.Store(true)
 	}
-	cb := w.eng.opts.OnPlex
-	if cb == nil {
+	cb, cbSeed := w.eng.opts.OnPlex, w.eng.opts.OnPlexSeed
+	if cb == nil && cbSeed == nil {
 		return
 	}
 	w.plexBuf = w.plexBuf[:0]
@@ -375,5 +383,10 @@ func (w *worker) emit(sg *seedGraph, P *bitset.Set) {
 		w.plexBuf = append(w.plexBuf, int(w.eng.toInput[sg.orig[v]]))
 	})
 	sort.Ints(w.plexBuf)
-	cb(w.plexBuf)
+	if cb != nil {
+		cb(w.plexBuf)
+	}
+	if cbSeed != nil {
+		cbSeed(int(sg.seed), w.plexBuf)
+	}
 }

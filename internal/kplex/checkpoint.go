@@ -1,0 +1,242 @@
+package kplex
+
+// Seed-level checkpointing support. The engine decomposes a run into one
+// subproblem per seed vertex of the reduced, degeneracy-relabelled graph
+// (Algorithm 2); that decomposition is deterministic given the graph
+// content and the result-defining options (K, Q, UseCTCP), which makes the
+// seed id a stable unit of recovery: a crashed run can be restarted with
+// Options.SkipSeeds holding the seeds whose results were already persisted,
+// and the engine will re-enumerate exactly the missing ones. The hooks that
+// make the persistence side possible are Options.OnSeedDone (fired once per
+// fully completed seed group, with the Stats accrued by that group) and
+// Options.OnPlexSeed (the seed-attributed variant of OnPlex, so partial
+// aggregates can be buffered per seed and committed only on completion).
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// SeedSet is a bitmask over seed ids, used by Options.SkipSeeds to name the
+// seed groups a resumed run must not re-enumerate. The zero value is an
+// empty set ready for use. SeedSet is not safe for concurrent mutation;
+// the engine only reads it during a run.
+type SeedSet struct {
+	words []uint64
+	count int
+}
+
+// NewSeedSet returns a set holding the given seeds.
+func NewSeedSet(seeds ...int) *SeedSet {
+	s := &SeedSet{}
+	for _, v := range seeds {
+		s.Add(v)
+	}
+	return s
+}
+
+// Add inserts seed into the set. Negative ids panic: they can never name a
+// seed group and accepting them would let a corrupted checkpoint silently
+// skip nothing.
+func (s *SeedSet) Add(seed int) {
+	if seed < 0 {
+		panic(fmt.Sprintf("kplex: negative seed id %d", seed))
+	}
+	w := seed >> 6
+	for w >= len(s.words) {
+		s.words = append(s.words, 0)
+	}
+	bit := uint64(1) << (seed & 63)
+	if s.words[w]&bit == 0 {
+		s.words[w] |= bit
+		s.count++
+	}
+}
+
+// Contains reports whether seed is in the set.
+func (s *SeedSet) Contains(seed int) bool {
+	if s == nil || seed < 0 {
+		return false
+	}
+	w := seed >> 6
+	return w < len(s.words) && s.words[w]&(1<<(seed&63)) != 0
+}
+
+// Len returns the number of seeds in the set.
+func (s *SeedSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// Max returns the largest seed in the set, or -1 when empty.
+func (s *SeedSet) Max() int {
+	if s == nil {
+		return -1
+	}
+	for w := len(s.words) - 1; w >= 0; w-- {
+		if s.words[w] != 0 {
+			return w*64 + 63 - bits.LeadingZeros64(s.words[w])
+		}
+	}
+	return -1
+}
+
+// Seeds returns the members in ascending order.
+func (s *SeedSet) Seeds() []int {
+	if s == nil || s.count == 0 {
+		return nil
+	}
+	out := make([]int, 0, s.count)
+	for w, word := range s.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, w*64+b)
+			word &^= 1 << b
+		}
+	}
+	return out
+}
+
+// digest returns a short content fingerprint, used by Options.ResultKey:
+// two runs with different skip sets report different result sets and must
+// never share a cache entry.
+func (s *SeedSet) digest() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range s.words {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// seedTracker counts the outstanding work of one seed group so the engine
+// can tell when the group is complete: one unit for the task-generation
+// phase plus one per emitted task (including tasks materialised later by
+// the timeout splitter, which share the group's seedGraph). The worker that
+// retires the last unit fires Options.OnSeedDone; plex deliveries for the
+// group happen-before their task's release, so the callback observes every
+// contribution.
+type seedTracker struct {
+	seed int
+
+	mu          sync.Mutex
+	outstanding int
+	partial     Stats
+}
+
+// addTask registers one more queued task of the group. It must be called
+// before the task becomes runnable by other workers.
+func (tr *seedTracker) addTask() {
+	tr.mu.Lock()
+	tr.outstanding++
+	tr.mu.Unlock()
+}
+
+// release retires one unit of work, folding delta into the group's partial
+// stats, and fires OnSeedDone when the group is complete. A cancelled run
+// never fires: branch() returns early once it observes the stop flag, so a
+// retiring task may have been truncated mid-subtree — and because the flag
+// is monotone, any task that saw it in branch is guaranteed to see it
+// here. Suppressing a group that happened to finish completely is safe
+// (the caller simply re-enumerates it on resume); reporting a truncated
+// one as done would silently drop its unexplored plexes forever.
+func (tr *seedTracker) release(e *engine, delta Stats) {
+	tr.mu.Lock()
+	tr.partial.Add(delta)
+	tr.outstanding--
+	done := tr.outstanding == 0
+	partial := tr.partial
+	tr.mu.Unlock()
+	if done && !e.cancelled() {
+		e.opts.OnSeedDone(tr.seed, partial)
+	}
+}
+
+// statsDelta returns after minus before for the additive counters; for
+// MaxPlexSize (a running maximum) it reports after's value when it grew
+// during the window and zero otherwise, so that folding deltas with
+// Stats.Add reconstructs the same maximum.
+func statsDelta(after, before Stats) Stats {
+	d := Stats{
+		Seeds:         after.Seeds - before.Seeds,
+		Tasks:         after.Tasks - before.Tasks,
+		TasksPrunedR1: after.TasksPrunedR1 - before.TasksPrunedR1,
+		Branches:      after.Branches - before.Branches,
+		UBPruned:      after.UBPruned - before.UBPruned,
+		Collapses:     after.Collapses - before.Collapses,
+		Repicks:       after.Repicks - before.Repicks,
+		Splits:        after.Splits - before.Splits,
+		Steals:        after.Steals - before.Steals,
+		StealMisses:   after.StealMisses - before.StealMisses,
+		Emitted:       after.Emitted - before.Emitted,
+	}
+	if after.MaxPlexSize > before.MaxPlexSize {
+		d.MaxPlexSize = after.MaxPlexSize
+	}
+	return d
+}
+
+// settleRelease folds the worker's stats accrued since the previous settle
+// point into tr and retires one unit of the group's work. A worker's
+// execution is a sequence of homogeneous segments (one seed's generation
+// phase, one task), each ending in a settleRelease, so the watermark
+// attributes every counter to the seed group that produced it.
+func (w *worker) settleRelease(tr *seedTracker) {
+	delta := statsDelta(w.stats, w.mark)
+	w.mark = w.stats
+	tr.release(w.eng, delta)
+}
+
+// skipSeed reports whether the resumed-run skip set covers seed s.
+func (e *engine) skipSeed(s int) bool {
+	return e.opts.SkipSeeds.Contains(s)
+}
+
+// seedDoneEmpty reports a seed group that produced no work at all (its
+// candidate space was pruned before any task existed).
+func (e *engine) seedDoneEmpty(s int) {
+	if e.opts.OnSeedDone != nil {
+		e.opts.OnSeedDone(s, Stats{})
+	}
+}
+
+// reduceForRun applies the run prologue shared by Run, RunStream and
+// SeedSpace: the optional CTCP reduction, the (q-k)-core restriction
+// (Theorem 3.5) and the degeneracy relabelling. The returned graph's
+// vertices are the run's seed id space; toInput maps them back to the
+// caller's ids.
+func reduceForRun(g *graph.Graph, opts *Options) (relab *graph.Graph, toInput []int32) {
+	if opts.UseCTCP {
+		g = ReduceCTCP(g, opts.K, opts.Q)
+	}
+	core, coreID := graph.KCore(g, opts.Q-opts.K)
+	relab2, relID := graph.DegeneracyOrderedCopy(core)
+	toInput = make([]int32, relab2.N())
+	for i := range toInput {
+		toInput[i] = coreID[relID[i]]
+	}
+	return relab2, toInput
+}
+
+// SeedSpace returns the number of seed subproblems a Run over g with opts
+// iterates: the vertex count of the reduced, relabelled working graph. The
+// value is deterministic in the graph content and the result-defining
+// options (K, Q, UseCTCP), so checkpoints can record it once and a resumed
+// run can verify it is replaying against the same decomposition. Seed ids
+// reported by OnSeedDone and accepted by SkipSeeds lie in [0, SeedSpace).
+func SeedSpace(g *graph.Graph, opts Options) (int, error) {
+	if err := opts.Validate(); err != nil {
+		return 0, err
+	}
+	relab, _ := reduceForRun(g, &opts)
+	return relab.N(), nil
+}

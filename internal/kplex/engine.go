@@ -2,6 +2,7 @@ package kplex
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -46,19 +47,12 @@ func Run(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
 	}
 	start := time.Now()
 
-	// Optional kPlexS-style second-order reduction (vertex id space is
-	// preserved, so the mappings below compose unchanged).
-	if opts.UseCTCP {
-		g = ReduceCTCP(g, opts.K, opts.Q)
-	}
-
-	// Theorem 3.5: restrict to the (q-k)-core, then relabel into
-	// degeneracy order so that "later in η" is a numeric comparison.
-	core, coreID := graph.KCore(g, opts.Q-opts.K)
-	relab, relID := graph.DegeneracyOrderedCopy(core)
-	toInput := make([]int32, relab.N())
-	for i := range toInput {
-		toInput[i] = coreID[relID[i]]
+	// The run prologue (optional CTCP reduction, (q-k)-core restriction,
+	// degeneracy relabelling) is shared with SeedSpace so that checkpoint
+	// seed ids and the engine's seed loop can never drift apart.
+	relab, toInput := reduceForRun(g, &opts)
+	if m := opts.SkipSeeds.Max(); m >= relab.N() {
+		return Result{}, fmt.Errorf("kplex: SkipSeeds contains seed %d but this run has only %d seed groups (was the checkpoint written against a different graph or different K/Q/UseCTCP?)", m, relab.N())
 	}
 
 	e := &engine{opts: opts, g: relab, toInput: toInput}
@@ -92,6 +86,39 @@ func Run(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
 	return res, nil
 }
 
+// processSeed builds and enumerates one seed group on worker w, honouring
+// the resume skip set and the seed-completion hooks; emit receives the
+// generated tasks (schedulers queue them, the sequential path runs them
+// inline). It is the single choke point all four run paths share, so skip
+// and checkpoint semantics cannot drift between schedulers.
+func (e *engine) processSeed(w *worker, s int, emit func(*task)) {
+	if e.skipSeed(s) {
+		return
+	}
+	if e.opts.SerializeSeedBuild {
+		e.buildMu.Lock()
+	}
+	sg := buildSeedGraph(e.g, s, &e.opts)
+	if e.opts.SerializeSeedBuild {
+		e.buildMu.Unlock()
+	}
+	if sg == nil {
+		// Pruned before any task existed: the group is trivially complete.
+		e.seedDoneEmpty(s)
+		return
+	}
+	if e.opts.OnSeedDone != nil {
+		// One outstanding unit for the generation phase; emitted tasks add
+		// theirs inside generateTasks before they become stealable.
+		sg.track = &seedTracker{seed: s, outstanding: 1}
+	}
+	w.stats.Seeds++
+	e.generateTasks(w, sg, emit)
+	if sg.track != nil {
+		w.settleRelease(sg.track)
+	}
+}
+
 // runSequential processes every seed group in order on the calling
 // goroutine, executing tasks as they are generated.
 func (e *engine) runSequential(ctx context.Context) Stats {
@@ -102,12 +129,7 @@ func (e *engine) runSequential(ctx context.Context) Stats {
 		if e.cancelled() {
 			break
 		}
-		sg := buildSeedGraph(e.g, s, &e.opts)
-		if sg == nil {
-			continue
-		}
-		w.stats.Seeds++
-		e.generateTasks(w, sg, func(t *task) { w.runTask(t) })
+		e.processSeed(w, s, func(t *task) { w.runTask(t) })
 	}
 	return w.stats
 }
@@ -138,20 +160,10 @@ func (e *engine) runParallel(ctx context.Context, threads int) Stats {
 			go func(w *worker, seed int) {
 				defer wg.Done()
 				if seed < n && !e.cancelled() {
-					if e.opts.SerializeSeedBuild {
-						e.buildMu.Lock()
-					}
-					sg := buildSeedGraph(e.g, seed, &e.opts)
-					if e.opts.SerializeSeedBuild {
-						e.buildMu.Unlock()
-					}
-					if sg != nil {
-						w.stats.Seeds++
-						e.generateTasks(w, sg, func(t *task) {
-							e.pending.Add(1)
-							e.queues[w.id].push(t)
-						})
-					}
+					e.processSeed(w, seed, func(t *task) {
+						e.pending.Add(1)
+						e.queues[w.id].push(t)
+					})
 				}
 				e.seeding.Add(-1)
 				e.drain(w)
@@ -215,6 +227,12 @@ func (e *engine) drain(w *worker) {
 // is the single shared queue under SchedulerGlobalQueue, and the worker's
 // bounded deque under SchedulerSteal).
 func (e *engine) pushTask(w *worker, t *task) {
+	if tr := t.sg.track; tr != nil {
+		// Register the split before it becomes stealable; the currently
+		// running task still holds a unit, so the group cannot complete
+		// between this increment and the push.
+		tr.addTask()
+	}
 	if e.deques != nil {
 		e.enqueueLocal(w, t)
 		return
@@ -255,20 +273,10 @@ func (e *engine) runGlobalQueue(ctx context.Context, threads int) Stats {
 				}
 				s := int(nextSeed.Add(1)) - 1
 				if s < n {
-					if e.opts.SerializeSeedBuild {
-						e.buildMu.Lock()
-					}
-					sg := buildSeedGraph(e.g, s, &e.opts)
-					if e.opts.SerializeSeedBuild {
-						e.buildMu.Unlock()
-					}
-					if sg != nil {
-						w.stats.Seeds++
-						e.generateTasks(w, sg, func(t *task) {
-							e.pending.Add(1)
-							global.push(t)
-						})
-					}
+					e.processSeed(w, s, func(t *task) {
+						e.pending.Add(1)
+						global.push(t)
+					})
 					idleSpins = 0
 					continue
 				}
@@ -324,6 +332,12 @@ func watchContext(ctx context.Context, e *engine) (cleanup func()) {
 func (e *engine) generateTasks(w *worker, sg *seedGraph, emit func(*task)) {
 	k, q := e.opts.K, e.opts.Q
 	w.prepare(sg)
+	if sg.track != nil {
+		// Each initial task holds one unit of the group's outstanding work,
+		// registered before the scheduler's emit can make it stealable.
+		inner := emit
+		emit = func(t *task) { sg.track.addTask(); inner(t) }
+	}
 
 	if e.opts.Partition == PartitionWhole2Hop {
 		// FP-style: a single task whose candidates are the whole later

@@ -202,6 +202,35 @@ type Options struct {
 	// of vertex ids of the input graph. It may be called concurrently from
 	// multiple workers and must not retain the slice.
 	OnPlex func(plex []int)
+
+	// OnPlexSeed is the seed-attributed variant of OnPlex: it additionally
+	// carries the id of the seed group (in [0, SeedSpace)) whose subproblem
+	// produced the plex, so callers checkpointing at seed granularity can
+	// buffer contributions per seed and commit them only when OnSeedDone
+	// confirms the group is complete. Both callbacks fire when both are set.
+	// Same contract as OnPlex: may be called concurrently, must not retain
+	// the slice.
+	OnPlexSeed func(seed int, plex []int)
+
+	// OnSeedDone, when non-nil, fires exactly once per seed group the run
+	// fully completes (including groups pruned to nothing, which report a
+	// zero Stats), with the search counters accrued by that group. Every
+	// OnPlexSeed delivery of the group happens before its OnSeedDone. Groups
+	// interrupted by cancellation never report, which is what makes the
+	// callback a safe commit point for crash recovery. Calls may arrive
+	// concurrently from different workers for different seeds. Incompatible
+	// with FirstOnly (an early stop abandons groups mid-flight). Enabling
+	// the hook adds per-task bookkeeping; see BENCH_jobs.json for the
+	// measured overhead.
+	OnSeedDone func(seed int, partial Stats)
+
+	// SkipSeeds names seed groups to skip entirely, without reporting them
+	// to OnSeedDone: the resume path for a run whose listed seeds were
+	// already enumerated and persisted. Seed ids refer to the deterministic
+	// reduced decomposition (see SeedSpace); entries outside [0, SeedSpace)
+	// fail the run. A non-empty skip set changes the reported result set,
+	// and ResultKey reflects that.
+	SkipSeeds *SeedSet
 }
 
 // NewOptions returns the paper's default configuration ("Ours"): full upper
@@ -249,6 +278,18 @@ func (o *Options) Validate() error {
 	if o.StreamBuffer < 0 {
 		return errors.New("kplex: StreamBuffer must be >= 0")
 	}
+	if o.OnSeedDone != nil && o.FirstOnly {
+		return errors.New("kplex: OnSeedDone is incompatible with FirstOnly: an early stop abandons seed groups mid-flight, so completion callbacks would be meaningless")
+	}
+	if o.OnPlexSeed != nil && o.FirstOnly {
+		return errors.New("kplex: OnPlexSeed is incompatible with FirstOnly: use OnPlex for existence queries")
+	}
+	if o.SkipSeeds.Len() > 0 && o.OnSeedDone == nil && o.OnPlex == nil && o.OnPlexSeed == nil {
+		// A silent partial enumeration with no way to observe which part ran
+		// is always a caller bug (typically a resume path that forgot to
+		// re-install its hooks).
+		return errors.New("kplex: SkipSeeds without OnSeedDone, OnPlex or OnPlexSeed would silently drop results; install a hook or clear the skip set")
+	}
 	return nil
 }
 
@@ -266,6 +307,11 @@ func (o *Options) ResultKey() string {
 		// FirstOnly runs report an arbitrary nonempty prefix of the result
 		// set, so they are never interchangeable with full enumerations.
 		key += ",first-only"
+	}
+	if o.SkipSeeds.Len() > 0 {
+		// A resumed run reports only the complement of the skip set; it must
+		// never share a cache entry with a full enumeration.
+		key += ",skip=" + o.SkipSeeds.digest()
 	}
 	return key
 }

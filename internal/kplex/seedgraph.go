@@ -42,6 +42,10 @@ type seedGraph struct {
 	// co-occur in any k-plex of size >= q. Bits in the V' range are always
 	// set so that X ∩= pair[u] is a no-op for X-only vertices.
 	pair []*bitset.Set
+
+	// track counts the group's outstanding tasks for the seed-completion
+	// hook; nil unless Options.OnSeedDone is set (see checkpoint.go).
+	track *seedTracker
 }
 
 // buildSeedGraph constructs G_i for seed s over the degeneracy-relabelled

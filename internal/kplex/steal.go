@@ -170,17 +170,7 @@ func (e *engine) stealLoop(w *worker, nextSeed *atomic.Int64) {
 		if nextSeed.Load() < int64(n) {
 			e.seeding.Add(1)
 			if s := int(nextSeed.Add(1)) - 1; s < n {
-				if e.opts.SerializeSeedBuild {
-					e.buildMu.Lock()
-				}
-				sg := buildSeedGraph(e.g, s, &e.opts)
-				if e.opts.SerializeSeedBuild {
-					e.buildMu.Unlock()
-				}
-				if sg != nil {
-					w.stats.Seeds++
-					e.generateTasks(w, sg, func(t *task) { e.enqueueLocal(w, t) })
-				}
+				e.processSeed(w, s, func(t *task) { e.enqueueLocal(w, t) })
 				e.seeding.Add(-1)
 				idleSpins = 0
 				continue

@@ -69,9 +69,6 @@ func (h *StreamHandle) Wait() (Result, error) {
 //
 // opts.OnPlex must be nil: the streaming path owns result delivery.
 func RunStream(ctx context.Context, g *graph.Graph, opts Options) (*StreamHandle, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
 	if opts.OnPlex != nil {
 		return nil, errStreamOnPlex
 	}
@@ -91,6 +88,12 @@ func RunStream(ctx context.Context, g *graph.Graph, opts Options) (*StreamHandle
 			// normal context path so every scheduler stops the same way.
 			cancel()
 		}
+	}
+	// Validate with the stream's own OnPlex installed, so rules that need a
+	// result observer (a resumed run's SkipSeeds) accept the streaming path.
+	if err := opts.Validate(); err != nil {
+		cancel()
+		return nil, err
 	}
 
 	h := &StreamHandle{c: st.C(), res: new(Result), st: st, done: make(chan struct{})}

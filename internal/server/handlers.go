@@ -61,11 +61,13 @@ func (s *Server) routes() {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetricsProm)
 	s.mux.HandleFunc("GET /graphs", s.handleListGraphs)
 	s.mux.HandleFunc("POST /graphs", s.handleLoadGraph)
 	s.mux.HandleFunc("DELETE /graphs/{name...}", s.handleEvictGraph)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /stream", s.handleStreamGet)
+	s.jobsRoutes()
 }
 
 // writeJSON writes v with status code.
@@ -88,7 +90,7 @@ func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"counters":        s.met.snapshot(),
+		"counters":        s.Metrics(),
 		"cache_entries":   s.cache.len(),
 		"resident_graphs": s.reg.Len(),
 	})

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// The /jobs endpoints: the durable async counterpart of /query. A
+// submitted job survives restarts — progress is checkpointed at seed
+// granularity under Config.JobsDir and an interrupted job resumes from its
+// last checkpoint when the server comes back.
+//
+//	POST   /jobs              submit  {"graph","k","q",...}  -> 202 + manifest
+//	GET    /jobs              list all jobs
+//	GET    /jobs/{id}         manifest + live progress
+//	GET    /jobs/{id}/events  NDJSON progress feed until terminal
+//	GET    /jobs/{id}/result  completed job's result (409 while active)
+//	POST   /jobs/{id}/cancel  cancel an active job (409 if terminal)
+//	DELETE /jobs/{id}         cancel an active job / delete a terminal one
+
+func (s *Server) jobsRoutes() {
+	if s.jobs == nil {
+		disabled := func(w http.ResponseWriter, _ *http.Request) {
+			s.fail(w, http.StatusServiceUnavailable, "job subsystem disabled: start kplexd with -jobs <dir>")
+		}
+		s.mux.HandleFunc("/jobs", disabled)
+		s.mux.HandleFunc("/jobs/", disabled)
+		return
+	}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancelJob)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleDeleteJob)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+		s.fail(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	// The service-level ceilings that protect the interactive path protect
+	// the background path too.
+	if spec.K < 1 || spec.K > s.cfg.MaxK {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1, %d], got %d", s.cfg.MaxK, spec.K))
+		return
+	}
+	if spec.Threads < 0 || spec.Threads > s.cfg.MaxThreads {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("threads must be in [0, %d], got %d", s.cfg.MaxThreads, spec.Threads))
+		return
+	}
+	if spec.TopN < 0 || spec.TopN > s.cfg.MaxTopN {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("topn must be in [0, %d], got %d", s.cfg.MaxTopN, spec.TopN))
+		return
+	}
+	// Resolve the graph eagerly so an unknown name is a 404 at submit time
+	// instead of a failed job minutes later.
+	if _, _, release, err := s.jobGraph(spec.Graph); err != nil {
+		s.fail(w, http.StatusNotFound, err.Error())
+		return
+	} else {
+		release()
+	}
+	man, err := s.jobs.Submit(spec)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, man)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	v, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		s.failJob(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.jobs.Result(r.PathValue("id"))
+	if err != nil {
+		s.failJob(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleCancelJob stops an active job and nothing else — unlike DELETE it
+// can never destroy a terminal job's persisted result, so clients can use
+// it without first checking the state.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.jobs.Cancel(id); err != nil {
+		s.failJob(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"cancelled": id})
+}
+
+func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// One verb, two phases: an active job is cancelled; a terminal job is
+	// removed along with its directory. Two DELETEs purge an active job.
+	if err := s.jobs.Cancel(id); err == nil {
+		writeJSON(w, http.StatusOK, map[string]string{"cancelled": id})
+		return
+	} else if !errors.Is(err, jobs.ErrNotActive) {
+		s.failJob(w, err)
+		return
+	}
+	if err := s.jobs.Delete(id); err != nil {
+		s.failJob(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// handleJobEvents streams NDJSON progress updates until the job reaches a
+// terminal state or the client disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	ch, stop, err := s.jobs.Subscribe(r.PathValue("id"))
+	if err != nil {
+		s.failJob(w, err)
+		return
+	}
+	defer stop()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(p); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-time.After(15 * time.Second):
+			// Keepalive so idle feeds survive proxies; an empty object is
+			// ignored by clients decoding Progress lines.
+			fmt.Fprintln(w, "{}")
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// failJob maps the job manager's sentinel errors onto HTTP statuses.
+func (s *Server) failJob(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		s.fail(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, jobs.ErrNotDone), errors.Is(err, jobs.ErrActive), errors.Is(err, jobs.ErrNotActive):
+		s.fail(w, http.StatusConflict, err.Error())
+	default:
+		s.fail(w, http.StatusInternalServerError, err.Error())
+	}
+}

@@ -1,6 +1,11 @@
 package server
 
-import "sync/atomic"
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+)
 
 // metrics are the server's monotonic counters. They exist for operations
 // (the /stats endpoint) and for the integration tests, which assert the
@@ -36,5 +41,40 @@ func (m *metrics) snapshot() map[string]int64 {
 		"graph_evictions":   m.GraphEvictions.Load(),
 		"streamed_plexes":   m.StreamedPlexes.Load(),
 		"streams_cancelled": m.StreamsCancelled.Load(),
+	}
+}
+
+// promGauges names the metrics that are instantaneous values rather than
+// monotonic counters; everything else gets Prometheus counter semantics
+// (and the conventional _total suffix).
+var promGauges = map[string]bool{
+	"cache_entries":   true,
+	"resident_graphs": true,
+	"jobs_running":    true,
+	"jobs_queued":     true,
+}
+
+// handleMetricsProm serves GET /metrics in the Prometheus text exposition
+// format: every /stats counter plus the occupancy gauges and, when the job
+// subsystem is enabled, its counters and gauges — so the JSON endpoint
+// stays for humans and scripts while scrapers get the standard format.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Metrics()
+	snap["cache_entries"] = int64(s.cache.len())
+	snap["resident_graphs"] = int64(s.reg.Len())
+
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, name := range names {
+		metric, kind := "kplexd_"+name+"_total", "counter"
+		if promGauges[name] {
+			metric, kind = "kplexd_"+name, "gauge"
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", metric, kind, metric, snap[name])
 	}
 }

@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/graph"
+	"repro/internal/jobs"
 	"repro/internal/kplex"
 )
 
@@ -56,6 +58,25 @@ type Config struct {
 	// StreamBuffer is the per-stream channel capacity (default
 	// kplex.DefaultStreamBuffer).
 	StreamBuffer int
+
+	// JobsDir enables the durable async job subsystem: long enumerations
+	// submitted to POST /jobs run in the background, checkpoint seed-level
+	// progress under this directory, and resume after a restart. Empty
+	// disables the /jobs endpoints (they answer 503).
+	JobsDir string
+	// JobWorkers bounds concurrently running jobs (default 2). Each running
+	// job additionally holds one MaxConcurrent admission slot while it
+	// enumerates, so jobs and interactive queries share one capacity budget.
+	JobWorkers int
+	// JobCheckpointSeeds is the checkpoint batch size in completed seed
+	// groups (default 64).
+	JobCheckpointSeeds int
+	// JobCheckpointInterval is the maximum age of uncheckpointed progress
+	// (default 2s).
+	JobCheckpointInterval time.Duration
+	// JobMinCheckpointGap rate-limits checkpoint fsyncs (default 250ms,
+	// negative disables; see jobs.Config.MinCheckpointGap).
+	JobMinCheckpointGap time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -105,12 +126,15 @@ type Server struct {
 	sem     chan struct{}
 	met     metrics
 	mux     *http.ServeMux
+	jobs    *jobs.Manager // nil when Config.JobsDir is empty
 	baseCtx context.Context
 	stop    context.CancelFunc
 }
 
-// New builds a Server from cfg (see Config for defaults).
-func New(cfg Config) *Server {
+// New builds a Server from cfg (see Config for defaults). The only
+// construction failure is the job subsystem (an unusable JobsDir or
+// unrecoverable job state).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -124,8 +148,50 @@ func New(cfg Config) *Server {
 		func() { s.met.GraphEvictions.Add(1) },
 	)
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	if cfg.JobsDir != "" {
+		man, err := jobs.Open(jobs.Config{
+			Dir:                cfg.JobsDir,
+			Load:               s.jobGraph,
+			Workers:            cfg.JobWorkers,
+			CheckpointSeeds:    cfg.JobCheckpointSeeds,
+			CheckpointInterval: cfg.JobCheckpointInterval,
+			MinCheckpointGap:   cfg.JobMinCheckpointGap,
+			DefaultThreads:     cfg.DefaultThreads,
+			Admit:              s.admitJob,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("opening job subsystem: %w", err)
+		}
+		s.jobs = man
+	}
 	s.routes()
-	return s
+	return s, nil
+}
+
+// Jobs exposes the job manager (tests and the preload path); nil when the
+// subsystem is disabled.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// jobGraph adapts the graph registry to the job manager's loader: the
+// graph stays pinned for the whole run.
+func (s *Server) jobGraph(name string) (*graph.Graph, string, func(), error) {
+	e, err := s.reg.Acquire(name)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	return e.G, e.Digest, func() { s.reg.Release(e) }, nil
+}
+
+// admitJob takes an enumeration slot for a background job. Unlike the
+// interactive path there is no 429: jobs are queued work by definition, so
+// they wait for capacity (or until the job is cancelled).
+func (s *Server) admitJob(ctx context.Context) (func(), error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Handler returns the HTTP handler serving all endpoints.
@@ -134,12 +200,28 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry exposes the graph registry (tests and the preload path).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Metrics returns a snapshot of the server counters.
-func (s *Server) Metrics() map[string]int64 { return s.met.snapshot() }
+// Metrics returns a snapshot of the server counters, including the job
+// subsystem's when it is enabled.
+func (s *Server) Metrics() map[string]int64 {
+	snap := s.met.snapshot()
+	if s.jobs != nil {
+		for k, v := range s.jobs.Counters().Snapshot() {
+			snap[k] = v
+		}
+	}
+	return snap
+}
 
-// Close cancels every detached execution. In-flight handlers finish on
-// their own (http.Server.Shutdown handles draining them).
-func (s *Server) Close() { s.stop() }
+// Close stops the job manager (running jobs flush a final checkpoint so
+// the next start resumes them) and cancels every detached execution.
+// In-flight handlers finish on their own (http.Server.Shutdown handles
+// draining them).
+func (s *Server) Close() {
+	if s.jobs != nil {
+		s.jobs.Close()
+	}
+	s.stop()
+}
 
 // admit blocks until an enumeration slot is free, the client gives up, or
 // the admission timeout passes. The returned release must be called once

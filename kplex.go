@@ -59,6 +59,9 @@ type (
 	ExtendedGraphStats = graph.ExtendedStats
 	// GraphFormat identifies an on-disk graph format.
 	GraphFormat = graph.Format
+	// SeedSet is a bitmask over seed-group ids, used with Options.SkipSeeds
+	// to resume a checkpointed enumeration.
+	SeedSet = kplex.SeedSet
 )
 
 // Re-exported enumeration constants.
@@ -183,6 +186,16 @@ func EnumerateTopK(ctx context.Context, g *Graph, opts Options, topN int) ([][]i
 func SizeHistogram(ctx context.Context, g *Graph, opts Options) (map[int]int64, Result, error) {
 	return kplex.SizeHistogram(ctx, g, opts)
 }
+
+// NewSeedSet returns a SeedSet holding the given seed-group ids.
+func NewSeedSet(seeds ...int) *SeedSet { return kplex.NewSeedSet(seeds...) }
+
+// SeedSpace returns the number of seed subproblems an enumeration of g
+// under opts decomposes into. Seed ids reported by Options.OnSeedDone and
+// accepted by Options.SkipSeeds lie in [0, SeedSpace); the value depends
+// only on the graph content and the result-defining options, which is what
+// makes seed-level checkpoints replayable across restarts.
+func SeedSpace(g *Graph, opts Options) (int, error) { return kplex.SeedSpace(g, opts) }
 
 // IsKPlex reports whether P is a k-plex of g.
 func IsKPlex(g *Graph, P []int, k int) bool { return kplex.IsKPlex(g, P, k) }
