@@ -10,8 +10,10 @@
 //	kplexbench -ext maximum    # extension: maximum k-plex solvers
 //	kplexbench -ext scheduler  # extension: parallel scheduler ablation
 //	kplexbench -ext jobs       # extension: job-subsystem checkpoint overhead
-//	kplexbench -json FILE      # like -ext jobs, writing the machine-readable
-//	                           # snapshot to FILE (default BENCH_jobs.json)
+//	kplexbench -ext prepare    # extension: prepared-graph prologue amortization
+//	kplexbench -json FILE      # write the selected extension's machine-readable
+//	                           # snapshot to FILE; alone it implies -ext jobs
+//	                           # (defaults: BENCH_jobs.json / BENCH_prepare.json)
 //	kplexbench -quick ...      # representative subset, ~1 minute total
 //	kplexbench -threads 8 ...  # worker count for the parallel experiments
 package main
@@ -30,11 +32,11 @@ func main() {
 	var (
 		table    = flag.Int("table", 0, "regenerate one table (2-7)")
 		figure   = flag.Int("figure", 0, "regenerate one figure (7, 8, 9, 13)")
-		ext      = flag.String("ext", "", "extension experiment: ubcolor, maximum, scheduler or jobs")
+		ext      = flag.String("ext", "", "extension experiment: ubcolor, maximum, scheduler, jobs or prepare")
 		all      = flag.Bool("all", false, "regenerate everything")
 		quick    = flag.Bool("quick", false, "representative subset only")
 		threads  = flag.Int("threads", 0, "parallel worker count (default min(16, CPUs))")
-		jsonPath = flag.String("json", "", "run the jobs benchmark and write its machine-readable snapshot to this file")
+		jsonPath = flag.String("json", "", "write the selected extension's machine-readable snapshot to this file (alone it implies -ext jobs)")
 	)
 	flag.Parse()
 
@@ -43,6 +45,10 @@ func main() {
 	benchJSON := *jsonPath
 	if benchJSON == "" {
 		benchJSON = "BENCH_jobs.json"
+	}
+	prepareJSON := *jsonPath
+	if prepareJSON == "" {
+		prepareJSON = "BENCH_prepare.json"
 	}
 
 	type job struct {
@@ -67,17 +73,19 @@ func main() {
 		"maximum":   {name: "Table M (extension)", run: cfg.TableMaximum, ext: true},
 		"scheduler": {name: "Table S (extension)", run: cfg.TableScheduler, ext: true},
 		"jobs":      {name: "Jobs checkpoint overhead (extension)", run: func() error { return cfg.JobsBench(benchJSON) }, ext: true},
+		"prepare":   {name: "Prepared-graph amortization (extension)", run: func() error { return cfg.PrepareBench(prepareJSON) }, ext: true},
 	}
 	order := []string{
 		"table2", "table3", "figure7", "table4", "figure8",
 		"table5", "table6", "figure9", "figure13", "figure14",
 		"figure15", "table7", "ubcolor", "maximum", "scheduler",
-		"jobs",
+		"jobs", "prepare",
 	}
 
 	var selected []string
 	switch {
-	case *jsonPath != "":
+	case *jsonPath != "" && *ext == "":
+		// Backwards compatible: a bare -json means the jobs snapshot.
 		selected = []string{"jobs"}
 	case *all:
 		selected = order

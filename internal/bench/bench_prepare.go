@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/kplex"
+)
+
+// The prepared-graph benchmark: how much of a query the O(n+m) run
+// prologue (CTCP/core reduction + degeneracy relabelling) costs, and how
+// much a repeat query saves by reusing a cached kplex.Prepared handle —
+// exactly the path kplexd takes when its prepared cache hits. The snapshot
+// (BENCH_prepare.json) also records the seed builder's steady-state
+// allocations per build, which the zero-allocation pipeline pins at 0;
+// CI's bench-smoke job publishes the file and the alloc guard test fails
+// on regressions.
+
+// PrepareBenchCell is one (corpus graph, k, q) measurement.
+type PrepareBenchCell struct {
+	Graph      string  `json:"graph"`
+	K          int     `json:"k"`
+	Q          int     `json:"q"`
+	Seeds      int     `json:"seeds"` // seed groups of the decomposition
+	Count      int64   `json:"count"`
+	PrologueMS float64 `json:"prologueMs"` // Prepare alone
+	ColdMS     float64 `json:"coldMs"`     // Prepare + RunPrepared (first query)
+	WarmMS     float64 `json:"warmMs"`     // RunPrepared on a cached handle (repeat query)
+	Speedup    float64 `json:"speedup"`    // ColdMS / WarmMS
+
+	// SeedBuildAllocs is the steady-state heap allocations per seed-graph
+	// build (kplex.SeedBuildAllocsPerOp); 0 at steady state by design.
+	SeedBuildAllocs float64 `json:"seedBuildAllocsPerOp"`
+}
+
+// PrepareBenchReport is the BENCH_prepare.json document.
+type PrepareBenchReport struct {
+	Tool                string             `json:"tool"`
+	Reps                int                `json:"reps"`
+	Cells               []PrepareBenchCell `json:"cells"`
+	MeanSpeedup         float64            `json:"meanSpeedup"`
+	MinSpeedup          float64            `json:"minSpeedup"`
+	MaxSeedBuildAllocs  float64            `json:"maxSeedBuildAllocsPerOp"`
+	ZeroAllocSteadyDone bool               `json:"zeroAllocSteadyState"` // every cell at 0 allocs/op
+}
+
+// prepareBenchCombos mirrors the golden corpus cells (so the measured path
+// is the one the regression suite pins for correctness) and adds one
+// strict-threshold cell per graph. The strict cells are where the cached
+// prologue pays most: an interactive user probing with rising q issues
+// exactly these queries, whose enumeration prunes to almost nothing while
+// the O(n+m) prologue would otherwise be paid in full every time.
+func prepareBenchCombos(name string) [][2]int {
+	switch name {
+	case "gnp-dense":
+		return [][2]int{{2, 6}, {3, 7}, {2, 10}}
+	case "regular-flat":
+		return [][2]int{{2, 4}, {3, 6}, {2, 8}}
+	default:
+		return [][2]int{{2, 6}, {3, 8}, {2, 12}}
+	}
+}
+
+// PrepareBench measures prologue amortization over the corpus graphs and
+// writes the machine-readable snapshot to jsonPath.
+func (c *Config) PrepareBench(jsonPath string) error {
+	reps := 7
+	if c.Quick {
+		reps = 5
+	}
+	corpus := gen.Corpus()
+	if c.Quick {
+		corpus = corpus[:4]
+	}
+
+	c.printf("Prepared-graph amortization (corpus graphs, min of %d reps)\n", reps)
+	c.printf("%-16s %4s %4s %8s %12s %10s %10s %8s %10s\n",
+		"graph", "k", "q", "seeds", "prologueMs", "coldMs", "warmMs", "speedup", "allocs/op")
+
+	report := PrepareBenchReport{Tool: "kplexbench -ext prepare", Reps: reps, ZeroAllocSteadyDone: true}
+	var sumSpeedup float64
+	for _, cg := range corpus {
+		g := cg.Build()
+		for _, kq := range prepareBenchCombos(cg.Name) {
+			k, q := kq[0], kq[1]
+			opts := kplex.NewOptions(k, q)
+			opts.Threads = 1 // deterministic latency; the prologue cost is thread-independent
+
+			// One measured handle per cell plays the kplexd prepared cache.
+			cached, err := kplex.Prepare(g, opts)
+			if err != nil {
+				return fmt.Errorf("%s k=%d q=%d: %w", cg.Name, k, q, err)
+			}
+
+			cell := PrepareBenchCell{Graph: cg.Name, K: k, Q: q, Seeds: cached.SeedSpace()}
+			prologue, cold, warm := time.Duration(1<<62), time.Duration(1<<62), time.Duration(1<<62)
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				p, err := kplex.Prepare(g, opts)
+				if err != nil {
+					return err
+				}
+				dPrologue := time.Since(t0)
+				res, err := kplex.RunPrepared(context.Background(), p, opts)
+				if err != nil {
+					return err
+				}
+				dCold := time.Since(t0)
+				cell.Count = res.Count
+
+				t1 := time.Now()
+				if _, err := kplex.RunPrepared(context.Background(), cached, opts); err != nil {
+					return err
+				}
+				dWarm := time.Since(t1)
+
+				prologue = min(prologue, dPrologue)
+				cold = min(cold, dCold)
+				warm = min(warm, dWarm)
+			}
+			cell.PrologueMS = float64(prologue) / float64(time.Millisecond)
+			cell.ColdMS = float64(cold) / float64(time.Millisecond)
+			cell.WarmMS = float64(warm) / float64(time.Millisecond)
+			if warm > 0 {
+				cell.Speedup = float64(cold) / float64(warm)
+			}
+
+			allocs, err := kplex.SeedBuildAllocsPerOp(g, opts)
+			if err != nil {
+				return err
+			}
+			cell.SeedBuildAllocs = allocs
+			if allocs > report.MaxSeedBuildAllocs {
+				report.MaxSeedBuildAllocs = allocs
+			}
+			if allocs != 0 {
+				report.ZeroAllocSteadyDone = false
+			}
+
+			sumSpeedup += cell.Speedup
+			if report.MinSpeedup == 0 || cell.Speedup < report.MinSpeedup {
+				report.MinSpeedup = cell.Speedup
+			}
+			report.Cells = append(report.Cells, cell)
+			c.printf("%-16s %4d %4d %8d %12.3f %10.3f %10.3f %7.2fx %10.1f\n",
+				cg.Name, k, q, cell.Seeds, cell.PrologueMS, cell.ColdMS, cell.WarmMS, cell.Speedup, allocs)
+		}
+	}
+	if len(report.Cells) > 0 {
+		report.MeanSpeedup = sumSpeedup / float64(len(report.Cells))
+	}
+	c.printf("mean repeat-query speedup %.2fx, min %.2fx; max seed-build allocs/op %.1f\n",
+		report.MeanSpeedup, report.MinSpeedup, report.MaxSeedBuildAllocs)
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}

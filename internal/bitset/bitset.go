@@ -131,6 +131,27 @@ func (s *Set) IntersectionCount(t *Set) int {
 	return c
 }
 
+// CountUpto returns the number of set bits strictly below position i. Seed
+// graphs keep the candidate space in the local-id prefix [0, nv), so a
+// vertex's candidate-space degree is adj.CountUpto(nv) — no mask bitset
+// needed.
+func (s *Set) CountUpto(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i >= s.n {
+		return s.Count()
+	}
+	c := 0
+	for wi := 0; wi < i>>6; wi++ {
+		c += bits.OnesCount64(s.words[wi])
+	}
+	if r := uint(i & 63); r != 0 {
+		c += bits.OnesCount64(s.words[i>>6] & ((1 << r) - 1))
+	}
+	return c
+}
+
 // IntersectionCountPrefix returns |s ∩ t| counting only the first w words
 // (bits 0..64w-1). Callers that know all relevant bits live in a prefix of
 // the domain (e.g. candidate-space bits in a seed graph) use this to skip
@@ -286,27 +307,63 @@ func AndCountInto(dst, s, t *Set) int {
 // storage. Seed subgraph adjacency matrices use an arena so that a |V_i|×|V_i|
 // matrix is one allocation, improving cache locality during branching (the
 // property the paper's stage-based parallel layout is designed around).
+//
+// An arena is resettable: Reset re-dimensions it for the next seed graph
+// while reusing both the word storage and the Set headers, so a warmed-up
+// arena hands out rows without touching the heap — the property the
+// zero-allocation seed-build pipeline is built on. Rows handed out before a
+// Reset alias storage the reset recycles; callers must not Reset an arena
+// whose previous rows are still live.
 type Arena struct {
 	n     int
 	wpr   int // words per row
 	store []uint64
+	sets  []Set // pooled headers, one per handed-out row
+	rows  int   // rows handed out since the last Reset
 }
 
 // NewArena returns an arena producing bitsets of capacity n, pre-sized for
 // rows row bitsets.
 func NewArena(n, rows int) *Arena {
+	a := &Arena{}
+	a.Reset(n, rows)
+	return a
+}
+
+// Reset re-dimensions the arena for rows bitsets of capacity n, recycling
+// the backing storage and headers of previous generations. All words are
+// zeroed, so every subsequent New returns an empty set. Allocation happens
+// only when the requested footprint exceeds every earlier one.
+func (a *Arena) Reset(n, rows int) {
+	if n < 0 || rows < 0 {
+		panic("bitset: negative arena dimensions")
+	}
 	wpr := (n + wordBits - 1) / wordBits
-	return &Arena{n: n, wpr: wpr, store: make([]uint64, 0, wpr*rows)}
+	need := wpr * rows
+	if cap(a.store) < need {
+		a.store = make([]uint64, need)
+	} else {
+		a.store = a.store[:need]
+		clear(a.store)
+	}
+	if cap(a.sets) < rows {
+		a.sets = make([]Set, rows)
+	} else {
+		a.sets = a.sets[:rows]
+	}
+	a.n, a.wpr, a.rows = n, wpr, 0
 }
 
 // New returns a fresh empty bitset of the arena's capacity. Rows allocated
 // within the pre-sized capacity share one backing array; rows beyond it fall
 // back to individual allocations (earlier rows remain valid either way).
 func (a *Arena) New() *Set {
-	if len(a.store)+a.wpr > cap(a.store) {
+	if a.rows >= len(a.sets) {
 		return &Set{words: make([]uint64, a.wpr), n: a.n}
 	}
-	off := len(a.store)
-	a.store = a.store[: off+a.wpr : cap(a.store)]
-	return &Set{words: a.store[off : off+a.wpr : off+a.wpr], n: a.n}
+	off := a.rows * a.wpr
+	s := &a.sets[a.rows]
+	a.rows++
+	*s = Set{words: a.store[off : off+a.wpr : off+a.wpr], n: a.n}
+	return s
 }

@@ -13,7 +13,15 @@ import (
 // order) their edges were added. The serving layer keys result caches on
 // this digest, which is what lets the same graph registered under two
 // names — or reloaded from disk — share cached enumeration results.
+//
+// The digest is computed once per Graph and memoized (the CSR is immutable
+// after Build), so repeat cache lookups never rehash the adjacency.
 func Digest(g *Graph) [32]byte {
+	g.digestOnce.Do(func() { g.digest = computeDigest(g) })
+	return g.digest
+}
+
+func computeDigest(g *Graph) [32]byte {
 	h := sha256.New()
 	var buf [2 * binary.MaxVarintLen64]byte
 	n := g.N()

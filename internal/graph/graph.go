@@ -7,14 +7,22 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Graph is an undirected simple graph in CSR form. Vertices are 0..N()-1.
 // Adjacency lists are sorted ascending, contain no self-loops and no
-// duplicates. The zero value is an empty graph.
+// duplicates. The zero value is an empty graph. A Graph must not be copied
+// after first use (its memoized digest holds a sync.Once).
 type Graph struct {
 	offsets []int32 // len N()+1
 	adj     []int32 // len 2*M()
+
+	// The content digest is memoized: the CSR is immutable after Build, so
+	// hashing it once serves every later cache lookup (the serving layer
+	// keys result and prepared-graph caches on it).
+	digestOnce sync.Once
+	digest     [32]byte
 }
 
 // N returns the number of vertices.

@@ -1,0 +1,45 @@
+package graph
+
+// Merge-based set algebra over sorted adjacency rows. The CSR invariant
+// (every Neighbors row ascending, duplicate-free) makes common-neighbour
+// counting a linear merge instead of a hash probe per element — the
+// memory-layout-conscious formulation the seed pipeline and the CTCP
+// reduction share.
+
+// CountCommon returns |a ∩ b| for two ascending, duplicate-free int32
+// slices (typically two adjacency rows). It never allocates.
+func CountCommon(a, b []int32) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// IntersectTo appends a ∩ b (both ascending, duplicate-free) to dst and
+// returns the extended slice. dst may alias neither input.
+func IntersectTo(dst []int32, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}

@@ -148,6 +148,13 @@ type Config struct {
 	Dir string
 	// Load resolves graph names (required).
 	Load GraphLoader
+	// Prepare, when non-nil, resolves the prepared run prologue for a
+	// job's graph and options. The host wires this to its prepared-graph
+	// cache so a resumed or repeated job skips the O(n+m) prologue (kplexd
+	// shares the cache its interactive queries use). When nil, the runner
+	// prepares directly — still only once per incarnation, shared between
+	// the seed-space check and the enumeration.
+	Prepare func(g *graph.Graph, digest string, opts kplex.Options) (*kplex.Prepared, error)
 	// Workers is the number of concurrent jobs (default 2).
 	Workers int
 	// CheckpointSeeds flushes a WAL record once this many seeds completed

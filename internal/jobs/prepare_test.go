@@ -1,0 +1,45 @@
+package jobs
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kplex"
+)
+
+// TestJobUsesPreparedHook pins the prepared-handle wiring: when the host
+// supplies Config.Prepare, the runner resolves its prologue there exactly
+// once per incarnation (the seed-space check and the enumeration share the
+// handle) and the result is identical to the direct path.
+func TestJobUsesPreparedHook(t *testing.T) {
+	dir := t.TempDir()
+	var prepares atomic.Int64
+	m := openTestManager(t, dir, func(c *Config) {
+		c.Prepare = func(g *graph.Graph, digest string, opts kplex.Options) (*kplex.Prepared, error) {
+			if digest == "" {
+				t.Error("Prepare hook called without a digest")
+			}
+			prepares.Add(1)
+			return kplex.Prepare(g, opts)
+		}
+	})
+	defer m.Close()
+
+	man, err := m.Submit(Spec{Graph: "corpus:planted-a", K: 2, Q: 6, TopN: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, m, man.ID)
+	if v.State != StateDone {
+		t.Fatalf("final state = %s (error %q), want done", v.State, v.Error)
+	}
+	if got := prepares.Load(); got != 1 {
+		t.Fatalf("Prepare hook called %d times, want exactly 1 (shared by seed-space check and enumeration)", got)
+	}
+	res, err := m.Result(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesReference(t, res, refAggregate(t, "corpus:planted-a", 2, 6, 5))
+}

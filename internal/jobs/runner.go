@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/kplex"
 )
 
@@ -108,10 +109,14 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 	}
 	defer release()
 
-	totalSeeds, err := kplex.SeedSpace(g, opts)
+	// One prepared prologue serves both the seed-space identity check and
+	// the enumeration itself; hosts with a prepared cache (kplexd) resolve
+	// it there, so resumed incarnations skip the prologue entirely.
+	prepared, err := m.prepared(g, digest, opts)
 	if err != nil {
 		return err
 	}
+	totalSeeds := prepared.SeedSpace()
 
 	// Pin (or verify) the identity of the decomposition the checkpoints
 	// refer to. A changed graph file or seed space makes every persisted
@@ -217,7 +222,7 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 		}
 	}()
 
-	_, runErr := kplex.Run(runCtx, g, opts)
+	_, runErr := kplex.RunPrepared(runCtx, prepared, opts)
 	cancel(nil)
 	<-flusherDone
 
@@ -275,6 +280,15 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 		final.Histogram = map[int]int64{}
 	}
 	return writeResult(j.dir, &final)
+}
+
+// prepared resolves the run prologue through the host's cache when one is
+// wired, falling back to a direct Prepare.
+func (m *Manager) prepared(g *graph.Graph, digest string, opts kplex.Options) (*kplex.Prepared, error) {
+	if m.cfg.Prepare != nil {
+		return m.cfg.Prepare(g, digest, opts)
+	}
+	return kplex.Prepare(g, opts)
 }
 
 // interruptCause classifies why an incarnation stopped early, preferring

@@ -1,0 +1,59 @@
+//go:build !race
+
+package kplex
+
+// The zero-allocation guard of the seed pipeline. Seed-subgraph
+// construction dominates enumeration cost on the paper's workloads, so the
+// prepared-graph refactor moved it onto per-worker scratch and pooled
+// storage; this test pins the steady state at exactly zero heap
+// allocations per build so a regression (a map creeping back in, a slice
+// losing its pooling) fails CI rather than silently eating the win. Race
+// builds are excluded: the race runtime instruments allocations.
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestSeedBuildZeroAlloc drives the scratch-based builder exactly as an
+// engine worker does — one scratch, one recycled storage — over every seed
+// of a corpus-sized graph, and requires zero steady-state allocations per
+// build once the first warm-up pass has grown the buffers.
+func TestSeedBuildZeroAlloc(t *testing.T) {
+	for _, usePair := range []bool{false, true} {
+		opts := NewOptions(2, 6)
+		opts.UsePairPruning = usePair
+
+		g := gen.GNP(300, 0.08, 7)
+		p, err := Prepare(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relab := p.pg.G()
+		sc := newSeedScratch(relab.N())
+		st := &seedStorage{}
+
+		// Warm-up: one full pass sizes every buffer to the run's maximum.
+		built := 0
+		for s := 0; s < relab.N(); s++ {
+			if sg := sc.build(relab, p.pg, s, &opts, st); sg != nil {
+				built++
+			}
+		}
+		if built == 0 {
+			t.Fatal("no seed graphs built; test graph too sparse to exercise the builder")
+		}
+
+		s := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			sc.build(relab, p.pg, s, &opts, st)
+			if s++; s == relab.N() {
+				s = 0
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("pair=%v: steady-state seed build allocates %.1f objects/op, want 0", usePair, allocs)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package kplex
+
+// Benchmark probes for the harness in internal/bench. They live here (and
+// are exported) because the quantities they measure — steady-state
+// allocations of the scratch-based seed builder — are internals no outside
+// package can reach, yet the BENCH_prepare.json snapshot and its CI guard
+// must track them release over release.
+
+import (
+	"runtime"
+
+	"repro/internal/graph"
+)
+
+// SeedBuildAllocsPerOp measures the steady-state heap allocations of one
+// seed-graph build over the prepared working graph of (g, opts), driving
+// the builder exactly as an engine worker does: one scratch, one recycled
+// storage, seeds round-robin. A first full pass warms the buffers; the
+// reported figure is the post-warm-up average, which the zero-allocation
+// pipeline pins at exactly 0. The measurement mirrors
+// testing.AllocsPerRun (single-proc loop over Mallocs deltas) without
+// linking the testing framework into serving binaries. Runs under the
+// race detector inflate the number (the race runtime allocates); the CI
+// guard runs uninstrumented.
+func SeedBuildAllocsPerOp(g *graph.Graph, opts Options) (float64, error) {
+	p, err := Prepare(g, opts)
+	if err != nil {
+		return 0, err
+	}
+	relab := p.pg.G()
+	if relab.N() == 0 {
+		// The reduction emptied the graph: there are no builds to measure
+		// and, trivially, no allocations.
+		return 0, nil
+	}
+	sc := newSeedScratch(relab.N())
+	st := &seedStorage{}
+	for s := 0; s < relab.N(); s++ {
+		sc.build(relab, p.pg, s, &opts, st)
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	const runs = 200
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	s := 0
+	for i := 0; i < runs; i++ {
+		sc.build(relab, p.pg, s, &opts, st)
+		if s++; s == relab.N() {
+			s = 0
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs, nil
+}

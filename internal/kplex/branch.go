@@ -28,6 +28,11 @@ type worker struct {
 
 	stats Stats
 
+	// sc is the seed-build scratch (epoch-stamped id tables, peel
+	// worklists); created on the worker's first seed and reused for every
+	// later one, so steady-state seed construction never allocates.
+	sc *seedScratch
+
 	// Scratch, sized to the current seed graph's nAll.
 	scratchN int
 	degP     []int
@@ -74,6 +79,10 @@ func (w *worker) runTask(t *task) {
 	if tr := t.sg.track; tr != nil {
 		w.settleRelease(tr)
 	}
+	// Retire the task's storage reference last: every read of the seed
+	// graph (including the tracker settlement above) happens before the
+	// group can be recycled.
+	w.eng.releaseSeed(t.sg)
 }
 
 // recurse either descends into the child branch directly or, when the

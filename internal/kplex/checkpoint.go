@@ -209,34 +209,20 @@ func (e *engine) seedDoneEmpty(s int) {
 	}
 }
 
-// reduceForRun applies the run prologue shared by Run, RunStream and
-// SeedSpace: the optional CTCP reduction, the (q-k)-core restriction
-// (Theorem 3.5) and the degeneracy relabelling. The returned graph's
-// vertices are the run's seed id space; toInput maps them back to the
-// caller's ids.
-func reduceForRun(g *graph.Graph, opts *Options) (relab *graph.Graph, toInput []int32) {
-	if opts.UseCTCP {
-		g = ReduceCTCP(g, opts.K, opts.Q)
-	}
-	core, coreID := graph.KCore(g, opts.Q-opts.K)
-	relab2, relID := graph.DegeneracyOrderedCopy(core)
-	toInput = make([]int32, relab2.N())
-	for i := range toInput {
-		toInput[i] = coreID[relID[i]]
-	}
-	return relab2, toInput
-}
-
 // SeedSpace returns the number of seed subproblems a Run over g with opts
 // iterates: the vertex count of the reduced, relabelled working graph. The
 // value is deterministic in the graph content and the result-defining
 // options (K, Q, UseCTCP), so checkpoints can record it once and a resumed
 // run can verify it is replaying against the same decomposition. Seed ids
 // reported by OnSeedDone and accepted by SkipSeeds lie in [0, SeedSpace).
+//
+// SeedSpace is a thin wrapper over Prepare; callers that will also run the
+// enumeration should Prepare once and use Prepared.SeedSpace, which shares
+// the prologue with the run instead of computing it twice.
 func SeedSpace(g *graph.Graph, opts Options) (int, error) {
-	if err := opts.Validate(); err != nil {
+	p, err := Prepare(g, opts)
+	if err != nil {
 		return 0, err
 	}
-	relab, _ := reduceForRun(g, &opts)
-	return relab.N(), nil
+	return p.SeedSpace(), nil
 }

@@ -2,7 +2,6 @@ package kplex
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,78 +11,69 @@ import (
 	"repro/internal/graph"
 )
 
-// engine drives one enumeration run over a (q-k)-core-reduced,
-// degeneracy-relabelled copy of the input graph.
+// engine drives one enumeration run over a prepared (CTCP-reduced,
+// (q-k)-core-restricted, degeneracy-relabelled) view of the input graph.
 type engine struct {
 	opts    Options
-	g       *graph.Graph // relabelled working graph
-	toInput []int32      // relabelled id -> input graph id
+	g       *graph.Graph    // relabelled working graph
+	prep    *graph.Prepared // nil only in narrow unit tests
+	toInput []int32         // relabelled id -> input graph id
+
+	// sgPool recycles seedStorage between groups: a group's storage is
+	// returned the moment its last task retires, so the steady-state seed
+	// pipeline performs no heap allocation at all.
+	sgPool sync.Pool
 
 	queues  []*taskQueue  // stage / global-queue schedulers
 	deques  []*stealDeque // SchedulerSteal only (nil otherwise)
 	pending atomic.Int64  // tasks pushed but not yet finished
 	seeding atomic.Int64  // workers still generating tasks this stage
 	stop    atomic.Bool
-	buildMu sync.Mutex // used only with Options.SerializeSeedBuild
 }
 
 func (e *engine) cancelled() bool { return e.stop.Load() }
+
+// getStorage takes a recycled seedStorage from the pool (or a fresh one).
+func (e *engine) getStorage() *seedStorage {
+	if st, ok := e.sgPool.Get().(*seedStorage); ok {
+		return st
+	}
+	return &seedStorage{}
+}
+
+// releaseSeed drops one reference to the group and recycles its storage
+// once no task references it any more.
+func (e *engine) releaseSeed(sg *seedGraph) {
+	if sg.release() {
+		e.sgPool.Put(sg.store)
+	}
+}
 
 // Run enumerates all maximal k-plexes of g with at least opts.Q vertices.
 // See Options for the knobs; the returned Result carries the count and the
 // search statistics. The context cancels the run early (the partial count
 // is returned along with ctx.Err()).
+//
+// Run is a thin wrapper over Prepare + RunPrepared. Callers issuing many
+// runs over one graph (a query service, a resumable job) should Prepare
+// once and reuse the handle, which skips the O(n+m) prologue on every run
+// after the first.
 func Run(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
-	// A context that is already dead must not start the run at all: the
-	// watcher below flips the stop flag asynchronously, which would let an
-	// arbitrary prefix of the enumeration execute before the first poll.
+	// A context that is already dead must not start any work — not even
+	// the prologue, which is a full O(n+m) pass on its own.
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
 	}
-	start := time.Now()
-
-	// The run prologue (optional CTCP reduction, (q-k)-core restriction,
-	// degeneracy relabelling) is shared with SeedSpace so that checkpoint
-	// seed ids and the engine's seed loop can never drift apart.
-	relab, toInput := reduceForRun(g, &opts)
-	if m := opts.SkipSeeds.Max(); m >= relab.N() {
-		return Result{}, fmt.Errorf("kplex: SkipSeeds contains seed %d but this run has only %d seed groups (was the checkpoint written against a different graph or different K/Q/UseCTCP?)", m, relab.N())
+	p, err := Prepare(g, opts)
+	if err != nil {
+		return Result{}, err
 	}
-
-	e := &engine{opts: opts, g: relab, toInput: toInput}
-	threads := opts.Threads
-	if threads < 1 {
-		threads = 1
-	}
-	if threads > relab.N() && relab.N() > 0 {
-		threads = relab.N()
-	}
-	if threads < 1 {
-		threads = 1
-	}
-
-	var stats Stats
-	switch {
-	case threads == 1 && opts.TaskTimeout == 0:
-		stats = e.runSequential(ctx)
-	case opts.Scheduler == SchedulerGlobalQueue:
-		stats = e.runGlobalQueue(ctx, threads)
-	case opts.Scheduler == SchedulerSteal:
-		stats = e.runSteal(ctx, threads)
-	default:
-		stats = e.runParallel(ctx, threads)
-	}
-
-	res := Result{Count: stats.Emitted, Stats: stats, Elapsed: time.Since(start)}
-	if ctx != nil && ctx.Err() != nil {
-		return res, ctx.Err()
-	}
-	return res, nil
+	return RunPrepared(ctx, p, opts)
 }
 
 // processSeed builds and enumerates one seed group on worker w, honouring
@@ -95,15 +85,15 @@ func (e *engine) processSeed(w *worker, s int, emit func(*task)) {
 	if e.skipSeed(s) {
 		return
 	}
-	if e.opts.SerializeSeedBuild {
-		e.buildMu.Lock()
+	if w.sc == nil {
+		w.sc = newSeedScratch(e.g.N())
 	}
-	sg := buildSeedGraph(e.g, s, &e.opts)
-	if e.opts.SerializeSeedBuild {
-		e.buildMu.Unlock()
-	}
+	st := e.getStorage()
+	sg := w.sc.build(e.g, e.prep, s, &e.opts, st)
 	if sg == nil {
-		// Pruned before any task existed: the group is trivially complete.
+		// Pruned before any task existed: the group is trivially complete
+		// and its untouched storage goes straight back to the pool.
+		e.sgPool.Put(st)
 		e.seedDoneEmpty(s)
 		return
 	}
@@ -117,6 +107,7 @@ func (e *engine) processSeed(w *worker, s int, emit func(*task)) {
 	if sg.track != nil {
 		w.settleRelease(sg.track)
 	}
+	e.releaseSeed(sg) // the generation phase's reference
 }
 
 // runSequential processes every seed group in order on the calling
@@ -227,10 +218,12 @@ func (e *engine) drain(w *worker) {
 // is the single shared queue under SchedulerGlobalQueue, and the worker's
 // bounded deque under SchedulerSteal).
 func (e *engine) pushTask(w *worker, t *task) {
+	// Register the split's storage reference before it becomes stealable;
+	// the currently running task still holds one, so the group cannot be
+	// recycled between this increment and the push.
+	t.sg.retain()
 	if tr := t.sg.track; tr != nil {
-		// Register the split before it becomes stealable; the currently
-		// running task still holds a unit, so the group cannot complete
-		// between this increment and the push.
+		// Same ordering argument for the seed-completion tracker.
 		tr.addTask()
 	}
 	if e.deques != nil {
@@ -332,11 +325,17 @@ func watchContext(ctx context.Context, e *engine) (cleanup func()) {
 func (e *engine) generateTasks(w *worker, sg *seedGraph, emit func(*task)) {
 	k, q := e.opts.K, e.opts.Q
 	w.prepare(sg)
-	if sg.track != nil {
-		// Each initial task holds one unit of the group's outstanding work,
-		// registered before the scheduler's emit can make it stealable.
-		inner := emit
-		emit = func(t *task) { sg.track.addTask(); inner(t) }
+	// Each initial task holds one reference to the group's pooled storage
+	// (and, when the seed-completion hook is on, one unit of the tracker's
+	// outstanding work), registered before the scheduler's emit can make it
+	// stealable.
+	inner := emit
+	emit = func(t *task) {
+		sg.retain()
+		if sg.track != nil {
+			sg.track.addTask()
+		}
+		inner(t)
 	}
 
 	if e.opts.Partition == PartitionWhole2Hop {

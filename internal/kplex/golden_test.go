@@ -106,6 +106,20 @@ func enumerateGoldenCase(t *testing.T, cg gen.CorpusGraph, k, q int) goldenCase 
 	}
 }
 
+// readGoldenCase loads the committed golden file matching c's cell.
+func readGoldenCase(t *testing.T, c goldenCase) goldenCase {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath(c))
+	if err != nil {
+		t.Fatalf("missing golden file (run TestGoldenCorpus with -update to create): %v", err)
+	}
+	var want goldenCase
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", goldenPath(c), err)
+	}
+	return want
+}
+
 func TestGoldenCorpus(t *testing.T) {
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {

@@ -14,13 +14,28 @@ import (
 // one with a long tail exercises the collapse shortcut). opts.OnPlex is
 // owned by SizeHistogram.
 func SizeHistogram(ctx context.Context, g *graph.Graph, opts Options) (map[int]int64, Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, Result{}, err
+		}
+	}
+	p, err := Prepare(g, opts)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return SizeHistogramPrepared(ctx, p, opts)
+}
+
+// SizeHistogramPrepared is SizeHistogram against a Prepared handle,
+// skipping the run prologue.
+func SizeHistogramPrepared(ctx context.Context, p *Prepared, opts Options) (map[int]int64, Result, error) {
 	hist := make(map[int]int64)
 	var mu sync.Mutex
-	opts.OnPlex = func(p []int) {
+	opts.OnPlex = func(pl []int) {
 		mu.Lock()
-		hist[len(p)]++
+		hist[len(pl)]++
 		mu.Unlock()
 	}
-	res, err := Run(ctx, g, opts)
+	res, err := RunPrepared(ctx, p, opts)
 	return hist, res, err
 }

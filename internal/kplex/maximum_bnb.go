@@ -104,21 +104,22 @@ func FindMaximumKPlexBnB(ctx context.Context, g *graph.Graph, k int) ([]int, err
 
 	// Reduce once against the weakest threshold this run will ever use;
 	// later improvements tighten per-seed construction instead.
-	core, coreID := graph.KCore(g, ms.targetQ()-k)
-	relab, relID := graph.DegeneracyOrderedCopy(core)
-	toInput := make([]int32, relab.N())
-	for i := range toInput {
-		toInput[i] = coreID[relID[i]]
-	}
+	prep := graph.Prepare(g, ms.targetQ()-k)
+	relab := prep.G()
 	ms.g = relab
-	ms.toInput = toInput
+	ms.toInput = prep.ToInputIDs()
 
+	// One scratch and one storage serve every seed: the seed graph never
+	// outlives its loop iteration here, so the storage is recycled without
+	// any refcounting.
+	sc := newSeedScratch(relab.N())
+	st := &seedStorage{}
 	for s := 0; s < relab.N(); s++ {
 		if ctx != nil && ctx.Err() != nil {
 			return ms.best, ctx.Err()
 		}
 		opts := NewOptions(k, ms.targetQ())
-		sg := buildSeedGraph(relab, s, &opts)
+		sg := sc.build(relab, prep, s, &opts, st)
 		if sg == nil {
 			continue
 		}

@@ -158,10 +158,13 @@ type Options struct {
 	Branching BranchingStyle
 	// Partition selects the task decomposition (see PartitionStyle).
 	Partition PartitionStyle
-	// SerializeSeedBuild forces seed-subgraph construction through a global
-	// lock in parallel runs, reproducing the bottleneck of FP's parallel
-	// implementation that the paper's Table 4 discussion calls out. It has
-	// no effect on sequential runs.
+	// SerializeSeedBuild is a deprecated no-op, kept so existing presets
+	// keep compiling. It used to force seed-subgraph construction through a
+	// global lock as a workaround for allocation pressure in parallel runs
+	// (reproducing the bottleneck of FP's parallel implementation that the
+	// paper's Table 4 discussion calls out); the seed pipeline now builds
+	// from per-worker scratch and pooled storage without heap allocation,
+	// so there is no contention left to serialise away.
 	SerializeSeedBuild bool
 
 	// Threads is the number of workers; values < 1 mean 1 (sequential).

@@ -49,23 +49,6 @@ func ReduceCTCP(g *graph.Graph, k, q int) *graph.Graph {
 			}
 		}
 	}
-	commonCount := func(u, v int) int {
-		a, b := adj[u], adj[v]
-		i, j, c := 0, 0, 0
-		for i < len(a) && j < len(b) {
-			switch {
-			case a[i] < b[j]:
-				i++
-			case a[i] > b[j]:
-				j++
-			default:
-				c++
-				i++
-				j++
-			}
-		}
-		return c
-	}
 
 	for changed := true; changed; {
 		changed = false
@@ -84,7 +67,7 @@ func ReduceCTCP(g *graph.Graph, k, q int) *graph.Graph {
 			row := adj[u]
 			for i := 0; i < len(row); {
 				v := row[i]
-				if int(v) > u && commonCount(u, int(v)) < cnMin {
+				if int(v) > u && graph.CountCommon(adj[u], adj[int(v)]) < cnMin {
 					adj[u] = append(adj[u][:i], adj[u][i+1:]...)
 					row = adj[u]
 					removeEdge(int(v), int32(u))

@@ -1,7 +1,8 @@
 package kplex
 
 import (
-	"sort"
+	"slices"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/graph"
@@ -23,6 +24,11 @@ import (
 // both candidate-space and V' neighbours so that degree bookkeeping during
 // branching covers X; V' rows carry candidate-space bits only (two X
 // vertices are never compared against each other).
+//
+// All of a seedGraph's storage (the rows, the id tables, even the struct
+// itself) lives in a pooled seedStorage; the engine recycles it once the
+// group's last task retires, which is what keeps the steady-state seed
+// pipeline allocation-free.
 type seedGraph struct {
 	seed   int32   // global (degeneracy-relabelled) id of v_i
 	nv     int     // 1 + |N¹| + |N²|: vertices allowed in P ∪ C
@@ -46,92 +52,253 @@ type seedGraph struct {
 	// track counts the group's outstanding tasks for the seed-completion
 	// hook; nil unless Options.OnSeedDone is set (see checkpoint.go).
 	track *seedTracker
+
+	// store is the pooled backing storage; nil for test-built seed graphs
+	// that bypass the engine's recycling.
+	store *seedStorage
+}
+
+// seedStorage is the recyclable backing of one seedGraph: the struct
+// header, the bitset arena every row is carved from, and the id tables.
+// Slices only ever grow, so a storage that has seen the largest group of a
+// run builds every later group without touching the heap.
+type seedStorage struct {
+	sg    seedGraph
+	arena bitset.Arena
+	orig  []int32
+	adj   []*bitset.Set
+	degGi []int
+	hop2  []int
+	pair  []*bitset.Set
+
+	// refs counts the group's live references: one for the generation
+	// phase plus one per emitted (or split) task. The worker that drops
+	// the last reference hands the storage back to the engine's pool.
+	refs atomic.Int32
+}
+
+// retain registers one more task referencing the seed graph. It must
+// happen before the task becomes visible to other workers.
+func (sg *seedGraph) retain() {
+	if sg.store != nil {
+		sg.store.refs.Add(1)
+	}
+}
+
+// release drops one reference and reports whether the caller now owns the
+// storage (and must recycle it). Test-built seed graphs have no storage
+// and are left to the garbage collector.
+func (sg *seedGraph) release() bool {
+	return sg.store != nil && sg.store.refs.Add(-1) == 0
+}
+
+// seedScratch is per-worker working memory for seed-graph construction:
+// epoch-stamped global→local id and counter tables sized to the working
+// graph (a stamp equal to the current epoch marks a live entry, so no
+// per-seed clearing is needed), plus the reusable worklists of the
+// Corollary 5.2 peel and the 2-hop sweep. One scratch serves one worker;
+// it is reused the moment build returns.
+type seedScratch struct {
+	n     int    // working-graph size the tables cover
+	epoch uint32 // current build's stamp; 0 means "never stamped"
+
+	mark    []uint32 // N¹ membership (== epoch while alive in the peel)
+	localEp []uint32 // stamp validating localID
+	localID []int32  // global id -> local id
+	cntEp   []uint32 // stamp validating cnt for 2-hop candidates
+	cnt     []int32  // common-neighbour counters
+	seedEp  []uint32 // seed-adjacency membership
+
+	n1      []int32 // surviving later neighbours
+	queue   []int32 // Corollary 5.2 dirty worklist
+	touched []int32 // 2-hop candidates with a stamped counter
+	n2, xs  []int32
+
+	adjC      []*bitset.Set // pair-matrix temp rows (N(u) ∩ C_S)
+	adjCArena bitset.Arena
+}
+
+func newSeedScratch(n int) *seedScratch {
+	sc := &seedScratch{}
+	sc.ensure(n)
+	return sc
+}
+
+// ensure grows the stamp tables to cover a working graph of n vertices.
+func (sc *seedScratch) ensure(n int) {
+	if n <= sc.n {
+		return
+	}
+	sc.n = n
+	sc.mark = make([]uint32, n)
+	sc.localEp = make([]uint32, n)
+	sc.localID = make([]int32, n)
+	sc.cntEp = make([]uint32, n)
+	sc.cnt = make([]int32, n)
+	sc.seedEp = make([]uint32, n)
+}
+
+// bumpEpoch starts a new build generation. On the (astronomically rare)
+// wrap-around every table is cleared so stale stamps can never collide
+// with a live epoch; 0 stays reserved for "never stamped".
+func (sc *seedScratch) bumpEpoch() {
+	sc.epoch++
+	if sc.epoch == 0 {
+		clear(sc.mark)
+		clear(sc.localEp)
+		clear(sc.cntEp)
+		clear(sc.seedEp)
+		sc.epoch = 1
+	}
+}
+
+// grow helpers: reslice when capacity suffices, allocate only on growth.
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growSets(s []*bitset.Set, n int) []*bitset.Set {
+	if cap(s) < n {
+		return make([]*bitset.Set, n)
+	}
+	return s[:n]
 }
 
 // buildSeedGraph constructs G_i for seed s over the degeneracy-relabelled
-// graph g ("later" is the numeric comparison u > s). Returns nil when the
-// pruned candidate space is too small to hold any q-vertex k-plex.
+// graph g ("later" is the numeric comparison u > s), with fresh scratch and
+// storage per call. Tests and the one-shot paths use it; the engine goes
+// through seedScratch.build with pooled storage instead.
 func buildSeedGraph(g *graph.Graph, s int, opts *Options) *seedGraph {
-	k, q := opts.K, opts.Q
+	return newSeedScratch(g.N()).build(g, nil, s, opts, &seedStorage{})
+}
 
-	// Later neighbours. A q-vertex k-plex whose earliest member is v_i has
-	// at least q-k of v_i's neighbours, all later than v_i, so the group is
-	// empty whenever |N¹| < q-k.
-	var n1 []int32
-	for _, u := range g.Neighbors(s) {
-		if u > int32(s) {
-			n1 = append(n1, u)
+// build constructs G_i for seed s into st's recycled storage. prep, when
+// non-nil, supplies the precomputed later-neighbour offsets of the working
+// graph; otherwise the split is recovered from the sorted adjacency row.
+// Returns nil when the pruned candidate space is too small to hold any
+// q-vertex k-plex (st is then untouched and immediately reusable). The
+// returned seedGraph aliases st and carries one reference (the caller's
+// generation unit).
+func (sc *seedScratch) build(g *graph.Graph, prep *graph.Prepared, s int, opts *Options, st *seedStorage) *seedGraph {
+	k, q := opts.K, opts.Q
+	sc.ensure(g.N())
+	sc.bumpEpoch()
+	ep := sc.epoch
+
+	// Later/earlier neighbour split. A q-vertex k-plex whose earliest
+	// member is v_i has at least q-k of v_i's neighbours, all later than
+	// v_i, so the group is empty whenever |N¹| < q-k.
+	var later, earlier []int32
+	if prep != nil {
+		later, earlier = prep.LaterNeighbors(s), prep.EarlierNeighbors(s)
+	} else {
+		row := g.Neighbors(s)
+		cut := len(row)
+		for i, u := range row {
+			if u > int32(s) {
+				cut = i
+				break
+			}
 		}
+		later, earlier = row[cut:], row[:cut]
 	}
+	n1 := append(sc.n1[:0], later...)
+	sc.n1 = n1
 	if len(n1) < q-k {
 		return nil
 	}
-
-	// Corollary 5.2 on N¹, iterated to a fixed point: u ∈ N¹ needs at
-	// least q-2k common neighbours with v_i inside the (surviving) N¹.
-	inN1 := make(map[int32]int) // global -> provisional index marker
 	for _, u := range n1 {
-		inN1[u] = 1
+		sc.mark[u] = ep
 	}
-	thrN1 := q - 2*k
-	for changed := true; changed && thrN1 > 0; {
-		changed = false
+
+	// Corollary 5.2 on N¹, peeled to a fixed point: u ∈ N¹ needs at least
+	// q-2k common neighbours with v_i inside the surviving N¹. Counts are
+	// seeded by one sorted-adjacency merge per vertex and then maintained
+	// incrementally: removing u decrements its surviving neighbours, and
+	// only the ones that just crossed the threshold join the dirty
+	// worklist — converged vertices are never rescanned.
+	if thrN1 := q - 2*k; thrN1 > 0 {
+		queue := sc.queue[:0]
 		for _, u := range n1 {
-			if inN1[u] == 0 {
+			c := graph.CountCommon(g.Neighbors(int(u)), n1)
+			sc.cnt[u] = int32(c)
+			if c < thrN1 {
+				queue = append(queue, u)
+			}
+		}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			if sc.mark[u] != ep {
 				continue
 			}
-			common := 0
+			sc.mark[u] = 0
 			for _, w := range g.Neighbors(int(u)) {
-				if inN1[w] != 0 {
-					common++
+				if sc.mark[w] != ep {
+					continue
+				}
+				if sc.cnt[w]--; sc.cnt[w] == int32(thrN1)-1 {
+					queue = append(queue, w)
 				}
 			}
-			if common < thrN1 {
-				inN1[u] = 0
-				changed = true
+		}
+		sc.queue = queue
+		kept := n1[:0]
+		for _, u := range n1 {
+			if sc.mark[u] == ep {
+				kept = append(kept, u)
 			}
 		}
-	}
-	kept1 := n1[:0]
-	for _, u := range n1 {
-		if inN1[u] != 0 {
-			kept1 = append(kept1, u)
+		n1 = kept
+		sc.n1 = n1
+		if len(n1) < q-k {
+			return nil
 		}
-	}
-	n1 = kept1
-	if len(n1) < q-k {
-		return nil
 	}
 
 	// Later 2-hop vertices reached through surviving N¹, pruned by the
 	// Corollary 5.2 threshold q-2k+2; and earlier 2-hop vertices V' pruned
-	// by the Theorem 5.1 thresholds.
-	n1set := make(map[int32]bool, len(n1))
-	for _, u := range n1 {
-		n1set[u] = true
+	// by the Theorem 5.1 thresholds. Counters are epoch-stamped per
+	// candidate; touched lists who got one.
+	for _, u := range g.Neighbors(s) {
+		sc.seedEp[u] = ep
 	}
-	common := make(map[int32]int) // candidate 2-hop vertex -> |N(x) ∩ N¹|
+	touched := sc.touched[:0]
 	for _, u := range n1 {
 		for _, w := range g.Neighbors(int(u)) {
-			if w != int32(s) && !n1set[w] {
-				common[w]++
+			if int(w) == s || sc.mark[w] == ep {
+				continue
 			}
+			if sc.cntEp[w] != ep {
+				sc.cntEp[w] = ep
+				sc.cnt[w] = 0
+				touched = append(touched, w)
+			}
+			sc.cnt[w]++
 		}
 	}
+	sc.touched = touched
+
 	thr2 := q - 2*k + 2
-	var n2, xs []int32
-	seedNbr := make(map[int32]bool, g.Degree(s))
-	for _, u := range g.Neighbors(s) {
-		seedNbr[u] = true
-	}
-	for w, c := range common {
-		if w > int32(s) {
-			if c >= thr2 && !seedNbr[w] {
+	n2, xs := sc.n2[:0], sc.xs[:0]
+	for _, w := range touched {
+		if sc.seedEp[w] == ep {
+			continue // direct neighbours are not 2-hop vertices
+		}
+		if int(sc.cnt[w]) >= thr2 {
+			if w > int32(s) {
 				n2 = append(n2, w)
-			}
-		} else {
-			// Earlier vertex at distance 2 via N¹.
-			if !seedNbr[w] && c >= thr2 {
+			} else {
 				xs = append(xs, w)
 			}
 		}
@@ -139,64 +306,87 @@ func buildSeedGraph(g *graph.Graph, s int, opts *Options) *seedGraph {
 	// Earlier direct neighbours of the seed: Theorem 5.1(ii) threshold
 	// q-2k (no structural requirement when it is non-positive).
 	thrAdj := q - 2*k
-	for _, u := range g.Neighbors(s) {
-		if u < int32(s) {
-			if thrAdj <= 0 || common[u] >= thrAdj {
-				xs = append(xs, u)
-			}
+	for _, u := range earlier {
+		c := 0
+		if sc.cntEp[u] == ep {
+			c = int(sc.cnt[u])
+		}
+		if thrAdj <= 0 || c >= thrAdj {
+			xs = append(xs, u)
 		}
 	}
-	sortInt32(n2)
-	sortInt32(xs)
+	slices.Sort(n2)
+	slices.Sort(xs)
 
 	// For k=1 (maximal cliques) no 2-hop candidate can join P, and the
 	// pruning threshold already removed them via |S| <= k-1 = 0; keep N²
 	// empty to skip pointless S enumeration.
 	if k == 1 {
-		n2 = nil
+		n2 = n2[:0]
 	}
+	sc.n2, sc.xs = n2, xs
 
 	nv := 1 + len(n1) + len(n2)
 	if nv < q {
 		return nil
 	}
 	nAll := nv + len(xs)
-	sg := &seedGraph{
-		seed:   int32(s),
-		nv:     nv,
-		pWords: (nv + 63) / 64,
-		nAll:   nAll,
-		orig:   make([]int32, nAll),
+
+	rows := nAll + 3 // adjacency + nbrSeed + hop2Set + xBase
+	if opts.UsePairPruning {
+		rows += nv
 	}
-	localID := make(map[int32]int, nAll)
+	st.arena.Reset(nAll, rows)
+	st.orig = growInt32s(st.orig, nAll)
+	st.adj = growSets(st.adj, nAll)
+	st.degGi = growInts(st.degGi, nv)
+	st.hop2 = growInts(st.hop2, len(n2))
+	st.refs.Store(1)
+
+	sg := &st.sg
+	sg.seed = int32(s)
+	sg.nv = nv
+	sg.pWords = (nv + 63) / 64
+	sg.nAll = nAll
+	sg.orig = st.orig
+	sg.adj = st.adj
+	sg.degGi = st.degGi
+	sg.hop2 = st.hop2
+	sg.pair = nil
+	sg.track = nil
+	sg.store = st
+
 	sg.orig[0] = int32(s)
-	localID[int32(s)] = 0
-	at := 1
+	sc.localEp[s] = ep
+	sc.localID[s] = 0
+	at := int32(1)
 	for _, u := range n1 {
 		sg.orig[at] = u
-		localID[u] = at
+		sc.localEp[u] = ep
+		sc.localID[u] = at
 		at++
 	}
-	for _, u := range n2 {
+	for i, u := range n2 {
 		sg.orig[at] = u
-		localID[u] = at
-		sg.hop2 = append(sg.hop2, at)
+		sc.localEp[u] = ep
+		sc.localID[u] = at
+		sg.hop2[i] = int(at)
 		at++
 	}
 	for _, u := range xs {
 		sg.orig[at] = u
-		localID[u] = at
+		sc.localEp[u] = ep
+		sc.localID[u] = at
 		at++
 	}
 
-	arena := bitset.NewArena(nAll, nAll)
-	sg.adj = make([]*bitset.Set, nAll)
-	for i := range sg.adj {
-		sg.adj[i] = arena.New()
+	for i := 0; i < nAll; i++ {
+		sg.adj[i] = st.arena.New()
 	}
 	for li := 0; li < nv; li++ {
 		for _, w := range g.Neighbors(int(sg.orig[li])) {
-			if lj, ok := localID[w]; ok {
+			if sc.localEp[w] == ep {
+				lj := int(sc.localID[w])
 				sg.adj[li].Add(lj)
 				if lj >= nv {
 					// Symmetric bit so V' rows can be refined against P.
@@ -205,30 +395,27 @@ func buildSeedGraph(g *graph.Graph, s int, opts *Options) *seedGraph {
 			}
 		}
 	}
-	sg.degGi = make([]int, nv)
-	vMask := bitset.New(nAll)
+	// The candidate space is the local-id prefix [0, nv), so d_{G_i} is a
+	// prefix popcount — no mask bitset.
 	for i := 0; i < nv; i++ {
-		vMask.Add(i)
-	}
-	for i := 0; i < nv; i++ {
-		sg.degGi[i] = sg.adj[i].IntersectionCount(vMask)
+		sg.degGi[i] = sg.adj[i].CountUpto(nv)
 	}
 
-	sg.nbrSeed = bitset.New(nAll)
+	sg.nbrSeed = st.arena.New()
 	for i := 1; i <= len(n1); i++ {
 		sg.nbrSeed.Add(i)
 	}
-	sg.hop2Set = bitset.New(nAll)
+	sg.hop2Set = st.arena.New()
 	for _, h := range sg.hop2 {
 		sg.hop2Set.Add(h)
 	}
-	sg.xBase = bitset.New(nAll)
+	sg.xBase = st.arena.New()
 	for i := nv; i < nAll; i++ {
 		sg.xBase.Add(i)
 	}
 
 	if opts.UsePairPruning {
-		sg.buildPairMatrix(k, q)
+		sg.buildPairMatrix(sc, k, q)
 	}
 	return sg
 }
@@ -236,13 +423,16 @@ func buildSeedGraph(g *graph.Graph, s int, opts *Options) *seedGraph {
 // buildPairMatrix fills sg.pair with the compatibility rows of Theorems
 // 5.13 (N²×N²), 5.14 (N²×N¹) and 5.15 (N¹×N¹). The common-neighbour counts
 // are taken inside C_S = N¹ as the theorems require, with the theorem-
-// specific exclusions of the pair's own members.
-func (sg *seedGraph) buildPairMatrix(k, q int) {
+// specific exclusions of the pair's own members. Pair rows live in the
+// seed storage's arena (they share the group's lifetime); the temporary
+// N(u) ∩ C_S rows come from the worker scratch.
+func (sg *seedGraph) buildPairMatrix(sc *seedScratch, k, q int) {
 	nv, nAll := sg.nv, sg.nAll
-	arena := bitset.NewArena(nAll, nv)
-	sg.pair = make([]*bitset.Set, nv)
+	st := sg.store
+	st.pair = growSets(st.pair, nv)
+	sg.pair = st.pair
 	for i := 0; i < nv; i++ {
-		sg.pair[i] = arena.New()
+		sg.pair[i] = st.arena.New()
 		sg.pair[i].Fill()
 	}
 
@@ -261,19 +451,16 @@ func (sg *seedGraph) buildPairMatrix(k, q int) {
 	thr1515Non := q - k - 2*maxInt(k-1, 1)           // 5.15, non-adjacent
 
 	// adjC[u] = N(u) ∩ C_S as a bitset for fast pair intersection counts.
-	adjC := make([]*bitset.Set, nv)
-	ca := bitset.NewArena(nAll, nv)
+	sc.adjCArena.Reset(nAll, nv)
+	sc.adjC = growSets(sc.adjC, nv)
+	adjC := sc.adjC
 	for u := 1; u < nv; u++ {
-		adjC[u] = ca.New()
+		adjC[u] = sc.adjCArena.New()
 		adjC[u].Copy(sg.adj[u])
 		adjC[u].And(sg.nbrSeed)
 	}
 
 	n1hi := 1 + sg.nbrSeed.Count() // first N² local id
-	incompatible := func(u, v int) {
-		sg.pair[u].Remove(v)
-		sg.pair[v].Remove(u)
-	}
 	for u := 1; u < nv; u++ {
 		for v := u + 1; v < nv; v++ {
 			cn := adjC[u].IntersectionCount(adjC[v])
@@ -307,14 +494,11 @@ func (sg *seedGraph) buildPairMatrix(k, q int) {
 				}
 			}
 			if cn < thr {
-				incompatible(u, v)
+				sg.pair[u].Remove(v)
+				sg.pair[v].Remove(u)
 			}
 		}
 	}
-}
-
-func sortInt32(a []int32) {
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
 }
 
 func maxInt(a, b int) int {

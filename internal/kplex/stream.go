@@ -68,7 +68,36 @@ func (h *StreamHandle) Wait() (Result, error) {
 // the channel promptly even if the consumer has stopped receiving.
 //
 // opts.OnPlex must be nil: the streaming path owns result delivery.
+//
+// RunStream is a thin wrapper over Prepare + RunStreamPrepared; callers
+// streaming repeatedly over one graph should reuse a Prepared handle.
 func RunStream(ctx context.Context, g *graph.Graph, opts Options) (*StreamHandle, error) {
+	if opts.OnPlex != nil {
+		return nil, errStreamOnPlex
+	}
+	// Prepare validates against the stream's own OnPlex being installed
+	// later, so a resumed run's SkipSeeds must not be rejected here. A
+	// dead context keeps its contract — a handle whose channel closes
+	// immediately with Wait() == ctx.Err() — but must not pay the O(n+m)
+	// prologue, so it prepares the empty graph instead (RunPrepared
+	// returns ctx.Err() before touching it).
+	prepOpts := opts
+	prepOpts.SkipSeeds = nil
+	target := g
+	if ctx != nil && ctx.Err() != nil {
+		target = &graph.Graph{}
+	}
+	p, err := Prepare(target, prepOpts)
+	if err != nil {
+		return nil, err
+	}
+	return RunStreamPrepared(ctx, p, opts)
+}
+
+// RunStreamPrepared is RunStream against a Prepared handle: the bounded-
+// channel delivery and two-way cancellation of the streaming path without
+// re-running the prologue.
+func RunStreamPrepared(ctx context.Context, p *Prepared, opts Options) (*StreamHandle, error) {
 	if opts.OnPlex != nil {
 		return nil, errStreamOnPlex
 	}
@@ -107,7 +136,7 @@ func RunStream(ctx context.Context, g *graph.Graph, opts Options) (*StreamHandle
 
 	go func() {
 		defer cancel()
-		res, err := Run(runCtx, g, opts)
+		res, err := RunPrepared(runCtx, p, opts)
 		*h.res = res
 		h.err = err
 		st.Close(err) // happens-before the channel close observed by the consumer

@@ -55,6 +55,24 @@ func EnumerateTopK(ctx context.Context, g *graph.Graph, opts Options, topN int) 
 	if topN < 1 {
 		return nil, Result{}, fmt.Errorf("kplex: topN must be >= 1, got %d", topN)
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, Result{}, err
+		}
+	}
+	p, err := Prepare(g, opts)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return EnumerateTopKPrepared(ctx, p, opts, topN)
+}
+
+// EnumerateTopKPrepared is EnumerateTopK against a Prepared handle,
+// skipping the run prologue.
+func EnumerateTopKPrepared(ctx context.Context, p *Prepared, opts Options, topN int) ([][]int, Result, error) {
+	if topN < 1 {
+		return nil, Result{}, fmt.Errorf("kplex: topN must be >= 1, got %d", topN)
+	}
 	h := make(plexHeap, 0, topN)
 	var mu sync.Mutex
 	opts.OnPlex = func(p []int) {
@@ -69,7 +87,7 @@ func EnumerateTopK(ctx context.Context, g *graph.Graph, opts Options, topN int) 
 			heap.Fix(&h, 0)
 		}
 	}
-	res, err := Run(ctx, g, opts)
+	res, err := RunPrepared(ctx, p, opts)
 	if err != nil {
 		return nil, res, err
 	}

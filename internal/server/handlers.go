@@ -90,9 +90,10 @@ func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"counters":        s.Metrics(),
-		"cache_entries":   s.cache.len(),
-		"resident_graphs": s.reg.Len(),
+		"counters":         s.Metrics(),
+		"cache_entries":    s.cache.len(),
+		"resident_graphs":  s.reg.Len(),
+		"prepared_entries": s.prep.len(),
 	})
 }
 
@@ -270,23 +271,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // execute runs one cacheable enumeration. The context is detached from the
 // requesting client: the result is cacheable, so completing it is useful
 // even if the first asker is gone; Config.QueryTimeout is its bound and
-// Server.Close its shutdown path.
+// Server.Close its shutdown path. The run goes through the prepared-graph
+// cache, so only the first query of a (digest, k, q) cell pays the O(n+m)
+// prologue.
 func (s *Server) execute(entry *GraphEntry, req *queryRequest, opts kplex.Options) (*queryResult, error) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.QueryTimeout)
 	defer cancel()
+	p, err := s.prepared(entry.G, entry.Digest, &opts)
+	if err != nil {
+		return nil, err
+	}
 	val := &queryResult{Mode: req.Mode, Digest: entry.Digest, ComputedAt: time.Now()}
 	var res kplex.Result
-	var err error
 	switch req.Mode {
 	case "count":
-		res, err = kplex.Run(ctx, entry.G, opts)
+		res, err = kplex.RunPrepared(ctx, p, opts)
 	case "topk":
-		val.TopK, res, err = kplex.EnumerateTopK(ctx, entry.G, opts, req.TopN)
+		val.TopK, res, err = kplex.EnumerateTopKPrepared(ctx, p, opts, req.TopN)
 		if val.TopK == nil {
 			val.TopK = [][]int{} // encode as [] rather than null
 		}
 	case "histogram":
-		val.Histogram, res, err = kplex.SizeHistogram(ctx, entry.G, opts)
+		val.Histogram, res, err = kplex.SizeHistogramPrepared(ctx, p, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -372,7 +378,12 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req *queryR
 	defer s.reg.Release(entry)
 
 	opts.StreamBuffer = s.cfg.StreamBuffer
-	h, err := kplex.RunStream(ctx, entry.G, opts)
+	p, err := s.prepared(entry.G, entry.Digest, &opts)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	h, err := kplex.RunStreamPrepared(ctx, p, opts)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err.Error())
 		return

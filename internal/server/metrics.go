@@ -24,6 +24,8 @@ type metrics struct {
 	GraphEvictions   atomic.Int64 // registry evictions (LRU or explicit)
 	StreamedPlexes   atomic.Int64 // plexes delivered over stream responses
 	StreamsCancelled atomic.Int64 // streams ended by client disconnect / ctx
+	PreparedHits     atomic.Int64 // runs served a resident prepared-graph handle
+	PreparedMisses   atomic.Int64 // runs that had to compute the prologue
 }
 
 // snapshot returns the counters as a plain map for JSON encoding.
@@ -41,6 +43,8 @@ func (m *metrics) snapshot() map[string]int64 {
 		"graph_evictions":   m.GraphEvictions.Load(),
 		"streamed_plexes":   m.StreamedPlexes.Load(),
 		"streams_cancelled": m.StreamsCancelled.Load(),
+		"prepared_hits":     m.PreparedHits.Load(),
+		"prepared_misses":   m.PreparedMisses.Load(),
 	}
 }
 
@@ -48,10 +52,11 @@ func (m *metrics) snapshot() map[string]int64 {
 // monotonic counters; everything else gets Prometheus counter semantics
 // (and the conventional _total suffix).
 var promGauges = map[string]bool{
-	"cache_entries":   true,
-	"resident_graphs": true,
-	"jobs_running":    true,
-	"jobs_queued":     true,
+	"cache_entries":    true,
+	"resident_graphs":  true,
+	"prepared_entries": true,
+	"jobs_running":     true,
+	"jobs_queued":      true,
 }
 
 // handleMetricsProm serves GET /metrics in the Prometheus text exposition
@@ -62,6 +67,7 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
 	snap := s.Metrics()
 	snap["cache_entries"] = int64(s.cache.len())
 	snap["resident_graphs"] = int64(s.reg.Len())
+	snap["prepared_entries"] = int64(s.prep.len())
 
 	names := make([]string, 0, len(snap))
 	for name := range snap {

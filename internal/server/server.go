@@ -32,6 +32,15 @@ type Config struct {
 	MaxResidentGraphs int
 	// CacheEntries caps the result cache (default 256).
 	CacheEntries int
+	// PreparedEntries caps the prepared-graph cache: resident run
+	// prologues (CTCP + core restriction + degeneracy relabelling), keyed
+	// by graph digest × reduction options, that let repeat queries and
+	// resumed jobs skip straight to enumeration. Each handle holds a
+	// relabelled copy comparable in size to its source graph, so the
+	// default scales with the registry budget rather than being a fixed
+	// count: 4 × MaxResidentGraphs (a few (k, q) cells per resident
+	// graph).
+	PreparedEntries int
 	// MaxConcurrent bounds simultaneously running enumerations, cacheable
 	// and streaming alike (default NumCPU, min 2).
 	MaxConcurrent int
@@ -86,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
 	}
+	if c.PreparedEntries <= 0 {
+		c.PreparedEntries = 4 * c.MaxResidentGraphs
+	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = max(2, runtime.NumCPU())
 	}
@@ -122,6 +134,7 @@ type Server struct {
 	cfg     Config
 	reg     *Registry
 	cache   *resultCache
+	prep    *preparedCache
 	flight  flightGroup
 	sem     chan struct{}
 	met     metrics
@@ -140,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		reg:   NewRegistry(cfg.MaxResidentGraphs, NewLoader(cfg.DataDir)),
 		cache: newResultCache(cfg.CacheEntries),
+		prep:  newPreparedCache(cfg.PreparedEntries),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		mux:   http.NewServeMux(),
 	}
@@ -152,6 +166,7 @@ func New(cfg Config) (*Server, error) {
 		man, err := jobs.Open(jobs.Config{
 			Dir:                cfg.JobsDir,
 			Load:               s.jobGraph,
+			Prepare:            s.jobPrepared,
 			Workers:            cfg.JobWorkers,
 			CheckpointSeeds:    cfg.JobCheckpointSeeds,
 			CheckpointInterval: cfg.JobCheckpointInterval,
@@ -180,6 +195,14 @@ func (s *Server) jobGraph(name string) (*graph.Graph, string, func(), error) {
 		return nil, "", nil, err
 	}
 	return e.G, e.Digest, func() { s.reg.Release(e) }, nil
+}
+
+// jobPrepared resolves a job's run prologue through the server's
+// prepared-graph cache, so background jobs — and especially their resumed
+// incarnations after a restart — share prologues with interactive queries
+// instead of recomputing them.
+func (s *Server) jobPrepared(g *graph.Graph, digest string, opts kplex.Options) (*kplex.Prepared, error) {
+	return s.prepared(g, digest, &opts)
 }
 
 // admitJob takes an enumeration slot for a background job. Unlike the

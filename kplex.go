@@ -62,6 +62,10 @@ type (
 	// SeedSet is a bitmask over seed-group ids, used with Options.SkipSeeds
 	// to resume a checkpointed enumeration.
 	SeedSet = kplex.SeedSet
+	// Prepared is the reusable run prologue: the reduced, degeneracy-
+	// relabelled working graph for one (graph, K, Q, UseCTCP) cell. See
+	// Prepare.
+	Prepared = kplex.Prepared
 )
 
 // Re-exported enumeration constants.
@@ -113,6 +117,21 @@ func FPOptions(k, q int) Options { return baseline.FPOptions(k, q) }
 // the vertex sets themselves. The context cancels the run early.
 func Enumerate(ctx context.Context, g *Graph, opts Options) (Result, error) {
 	return kplex.Run(ctx, g, opts)
+}
+
+// Prepare computes the reusable prologue of an enumeration run — the
+// optional CTCP reduction, the (q-k)-core restriction and the degeneracy
+// relabelling — for the (K, Q, UseCTCP) cell of opts. The handle is
+// immutable and safe for concurrent reuse; callers issuing many queries
+// over one graph should Prepare once and call EnumeratePrepared, which
+// skips the O(n+m) prologue entirely.
+func Prepare(g *Graph, opts Options) (*Prepared, error) { return kplex.Prepare(g, opts) }
+
+// EnumeratePrepared is Enumerate against a Prepared handle. opts must
+// match the handle's K, Q and UseCTCP; execution knobs (threads,
+// scheduler, hooks, skip sets) are free to vary per run.
+func EnumeratePrepared(ctx context.Context, p *Prepared, opts Options) (Result, error) {
+	return kplex.RunPrepared(ctx, p, opts)
 }
 
 // EnumerateAll is a convenience wrapper that collects every maximal k-plex
