@@ -1,0 +1,83 @@
+package kplex_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	kplex "repro"
+)
+
+// TestPublicBatchFlow exercises the public batch surface end to end: a
+// q-sweep through EnumerateBatch must agree element-wise with standalone
+// Enumerate calls, and the mode-aware EnumerateBatchQueries must agree
+// with EnumerateTopK and SizeHistogram.
+func TestPublicBatchFlow(t *testing.T) {
+	g := kplex.Planted(kplex.PlantedConfig{
+		N: 120, BackgroundP: 0.02, Communities: 4, CommSize: 12,
+		DropPerV: 1, Overlap: 2, Seed: 41,
+	})
+	ctx := context.Background()
+
+	sweep := []kplex.Options{
+		kplex.NewOptions(2, 6),
+		kplex.NewOptions(2, 8),
+		kplex.NewOptions(2, 10),
+		kplex.NewOptions(3, 8),
+	}
+	batch, err := kplex.EnumerateBatch(ctx, g, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(sweep) {
+		t.Fatalf("got %d results for %d queries", len(batch), len(sweep))
+	}
+	for i, opts := range sweep {
+		res, err := kplex.Enumerate(ctx, g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Count != res.Count {
+			t.Errorf("cell %d (k=%d q=%d): batch count %d, standalone %d",
+				i, opts.K, opts.Q, batch[i].Count, res.Count)
+		}
+		if batch[i].Stats.MaxPlexSize != res.Stats.MaxPlexSize {
+			t.Errorf("cell %d: max size %d, standalone %d",
+				i, batch[i].Stats.MaxPlexSize, res.Stats.MaxPlexSize)
+		}
+	}
+
+	queries := []kplex.BatchQuery{
+		{Opts: kplex.NewOptions(2, 6), Mode: kplex.BatchTopK, TopN: 3},
+		{Opts: kplex.NewOptions(2, 8), Mode: kplex.BatchHistogram},
+	}
+	results, err := kplex.EnumerateBatchQueries(ctx, g, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Group != results[1].Group {
+		t.Errorf("equal-k members did not share a traversal: groups %d and %d",
+			results[0].Group, results[1].Group)
+	}
+	topk, _, err := kplex.EnumerateTopK(ctx, g, kplex.NewOptions(2, 6), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[0].TopK, topk) {
+		t.Errorf("batch topk %v, standalone %v", results[0].TopK, topk)
+	}
+	hist, _, err := kplex.SizeHistogram(ctx, g, kplex.NewOptions(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[1].Histogram, hist) {
+		t.Errorf("batch histogram %v, standalone %v", results[1].Histogram, hist)
+	}
+
+	// The batch-member guard is reachable from the public surface.
+	bad := kplex.NewOptions(2, 6)
+	bad.FirstOnly = true
+	if _, err := kplex.EnumerateBatch(ctx, g, []kplex.Options{bad}); err == nil {
+		t.Error("EnumerateBatch accepted a FirstOnly member")
+	}
+}

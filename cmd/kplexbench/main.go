@@ -11,9 +11,11 @@
 //	kplexbench -ext scheduler  # extension: parallel scheduler ablation
 //	kplexbench -ext jobs       # extension: job-subsystem checkpoint overhead
 //	kplexbench -ext prepare    # extension: prepared-graph prologue amortization
+//	kplexbench -ext batch      # extension: batched q-sweep amortization
 //	kplexbench -json FILE      # write the selected extension's machine-readable
 //	                           # snapshot to FILE; alone it implies -ext jobs
-//	                           # (defaults: BENCH_jobs.json / BENCH_prepare.json)
+//	                           # (defaults: BENCH_jobs.json / BENCH_prepare.json /
+//	                           # BENCH_batch.json)
 //	kplexbench -quick ...      # representative subset, ~1 minute total
 //	kplexbench -threads 8 ...  # worker count for the parallel experiments
 package main
@@ -50,6 +52,10 @@ func main() {
 	if prepareJSON == "" {
 		prepareJSON = "BENCH_prepare.json"
 	}
+	batchJSON := *jsonPath
+	if batchJSON == "" {
+		batchJSON = "BENCH_batch.json"
+	}
 
 	type job struct {
 		name string
@@ -74,12 +80,13 @@ func main() {
 		"scheduler": {name: "Table S (extension)", run: cfg.TableScheduler, ext: true},
 		"jobs":      {name: "Jobs checkpoint overhead (extension)", run: func() error { return cfg.JobsBench(benchJSON) }, ext: true},
 		"prepare":   {name: "Prepared-graph amortization (extension)", run: func() error { return cfg.PrepareBench(prepareJSON) }, ext: true},
+		"batch":     {name: "Batched-sweep amortization (extension)", run: func() error { return cfg.BatchBench(batchJSON) }, ext: true},
 	}
 	order := []string{
 		"table2", "table3", "figure7", "table4", "figure8",
 		"table5", "table6", "figure9", "figure13", "figure14",
 		"figure15", "table7", "ubcolor", "maximum", "scheduler",
-		"jobs", "prepare",
+		"jobs", "prepare", "batch",
 	}
 
 	var selected []string

@@ -35,6 +35,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -188,9 +189,16 @@ func cmdSubmit(b backend, local bool, args []string) error {
 	fs.IntVar(&spec.Threads, "threads", 0, "engine threads (0: server default)")
 	fs.StringVar(&spec.Scheduler, "scheduler", "", "stages | global-queue | steal")
 	fs.IntVar(&spec.Priority, "priority", 0, "higher runs first")
+	items := fs.String("items", "", `batch job: comma-separated "k:q[:topn]" cells (leave -k/-q/-topn unset); cells with equal k share one traversal`)
 	wait := fs.Bool("wait", false, "watch progress and print the result")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *items != "" {
+		var err error
+		if spec.Items, err = parseItems(*items); err != nil {
+			return err
+		}
 	}
 	man, err := b.submit(spec)
 	if err != nil {
@@ -203,6 +211,33 @@ func cmdSubmit(b backend, local bool, args []string) error {
 		return printJSON(man)
 	}
 	return waitAndReport(b, man.ID)
+}
+
+// parseItems decodes the -items flag: comma-separated "k:q" or "k:q:topn"
+// cells.
+func parseItems(s string) ([]jobs.SpecItem, error) {
+	var items []jobs.SpecItem
+	for _, cell := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(cell), ":")
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, fmt.Errorf("bad item %q: want k:q or k:q:topn", cell)
+		}
+		var it jobs.SpecItem
+		var err error
+		if it.K, err = strconv.Atoi(parts[0]); err != nil {
+			return nil, fmt.Errorf("bad item %q: %v", cell, err)
+		}
+		if it.Q, err = strconv.Atoi(parts[1]); err != nil {
+			return nil, fmt.Errorf("bad item %q: %v", cell, err)
+		}
+		if len(parts) == 3 {
+			if it.TopN, err = strconv.Atoi(parts[2]); err != nil {
+				return nil, fmt.Errorf("bad item %q: %v", cell, err)
+			}
+		}
+		items = append(items, it)
+	}
+	return items, nil
 }
 
 func waitAndReport(b backend, id string) error {

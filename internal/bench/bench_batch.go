@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/kplex"
+)
+
+// The batched-sweep benchmark: how much a multi-cell parameter sweep —
+// the same graph queried at several q thresholds, the histogram/dashboard
+// workload kplexd's POST /batch serves — saves by sharing one prologue
+// and one seed-space traversal per k group (kplex.RunBatch) versus
+// executing each cell as its own full run. The prepared cache alone
+// cannot help across cells: each (k, q) cell needs its own handle, so
+// the sweep's sequential cost keeps one prologue and one walk per cell,
+// while the batch pays one of each at the loosest q.
+
+// BatchBenchSweep is one measured sweep (graph × q-cells at fixed k).
+type BatchBenchSweep struct {
+	Graph   string  `json:"graph"`
+	K       int     `json:"k"`
+	Qs      []int   `json:"qs"`
+	Counts  []int64 `json:"counts"`  // per-cell result counts (batch == sequential, verified)
+	Seeds   int     `json:"seeds"`   // seed space of the shared traversal
+	SeqMS   float64 `json:"seqMs"`   // sum of standalone Run calls, one per cell
+	BatchMS float64 `json:"batchMs"` // one RunBatch over all cells
+	Speedup float64 `json:"speedup"` // SeqMS / BatchMS
+}
+
+// BatchBenchReport is the BENCH_batch.json document.
+type BatchBenchReport struct {
+	Tool        string            `json:"tool"`
+	Reps        int               `json:"reps"`
+	Cells       int               `json:"cellsPerSweep"`
+	Sweeps      []BatchBenchSweep `json:"sweeps"`
+	MeanSpeedup float64           `json:"meanSpeedup"`
+	MinSpeedup  float64           `json:"minSpeedup"`
+	MaxSpeedup  float64           `json:"maxSpeedup"`
+}
+
+// batchBenchSweepCells returns the 4-cell q-sweep measured for a corpus
+// graph: thresholds rising from where the graph's plexes live, so the
+// stricter cells are prologue-heavy (their own enumerations prune to
+// almost nothing, which is exactly where per-cell full runs waste the
+// most).
+func batchBenchSweepCells(name string) (int, []int) {
+	switch name {
+	case "gnp-dense":
+		return 2, []int{7, 8, 9, 10}
+	case "regular-flat":
+		return 2, []int{5, 6, 7, 8}
+	default:
+		return 2, []int{8, 10, 12, 14}
+	}
+}
+
+// BatchBench measures sweep amortization over the corpus graphs and
+// writes the machine-readable snapshot to jsonPath.
+func (c *Config) BatchBench(jsonPath string) error {
+	reps := 7
+	if c.Quick {
+		reps = 5
+	}
+	corpus := gen.Corpus()
+	if c.Quick {
+		corpus = corpus[:4]
+	}
+
+	c.printf("Batched q-sweeps vs sequential per-cell runs (min of %d reps)\n", reps)
+	c.printf("%-16s %3s %-16s %8s %10s %10s %8s\n",
+		"graph", "k", "qs", "seeds", "seqMs", "batchMs", "speedup")
+
+	report := BatchBenchReport{Tool: "kplexbench -ext batch", Reps: reps, Cells: 4}
+	var sum float64
+	for _, cg := range corpus {
+		g := cg.Build()
+		k, qs := batchBenchSweepCells(cg.Name)
+		sweep := BatchBenchSweep{Graph: cg.Name, K: k, Qs: qs}
+
+		queries := make([]kplex.BatchQuery, len(qs))
+		for i, q := range qs {
+			opts := kplex.NewOptions(k, q)
+			opts.Threads = 1 // deterministic latency, as in the prepare bench
+			queries[i] = kplex.BatchQuery{Opts: opts}
+		}
+
+		seq, batch := time.Duration(1<<62), time.Duration(1<<62)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			seqCounts := make([]int64, len(qs))
+			for i := range queries {
+				res, err := kplex.Run(context.Background(), g, queries[i].Opts)
+				if err != nil {
+					return fmt.Errorf("%s k=%d q=%d: %w", cg.Name, k, qs[i], err)
+				}
+				seqCounts[i] = res.Count
+			}
+			dSeq := time.Since(t0)
+
+			t1 := time.Now()
+			results, err := kplex.RunBatch(context.Background(), g, queries)
+			if err != nil {
+				return fmt.Errorf("%s batch: %w", cg.Name, err)
+			}
+			dBatch := time.Since(t1)
+
+			sweep.Counts = sweep.Counts[:0]
+			for i, br := range results {
+				if br.Count != seqCounts[i] {
+					return fmt.Errorf("%s k=%d q=%d: batch count %d != sequential %d",
+						cg.Name, k, qs[i], br.Count, seqCounts[i])
+				}
+				sweep.Counts = append(sweep.Counts, br.Count)
+			}
+			seq = min(seq, dSeq)
+			batch = min(batch, dBatch)
+		}
+
+		p, err := kplex.Prepare(g, queries[0].Opts)
+		if err != nil {
+			return err
+		}
+		sweep.Seeds = p.SeedSpace()
+		sweep.SeqMS = float64(seq) / float64(time.Millisecond)
+		sweep.BatchMS = float64(batch) / float64(time.Millisecond)
+		if batch > 0 {
+			sweep.Speedup = float64(seq) / float64(batch)
+		}
+		sum += sweep.Speedup
+		if report.MinSpeedup == 0 || sweep.Speedup < report.MinSpeedup {
+			report.MinSpeedup = sweep.Speedup
+		}
+		if sweep.Speedup > report.MaxSpeedup {
+			report.MaxSpeedup = sweep.Speedup
+		}
+		report.Sweeps = append(report.Sweeps, sweep)
+		qlabel := ""
+		for i, q := range qs {
+			if i > 0 {
+				qlabel += ","
+			}
+			qlabel += fmt.Sprint(q)
+		}
+		c.printf("%-16s %3d %-16s %8d %10.3f %10.3f %7.2fx\n",
+			cg.Name, k, qlabel, sweep.Seeds, sweep.SeqMS, sweep.BatchMS, sweep.Speedup)
+	}
+	if len(report.Sweeps) > 0 {
+		report.MeanSpeedup = sum / float64(len(report.Sweeps))
+	}
+	c.printf("mean sweep speedup %.2fx, min %.2fx, max %.2fx\n",
+		report.MeanSpeedup, report.MinSpeedup, report.MaxSpeedup)
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBatchBenchQuick smoke-tests the batched-sweep benchmark: the quick
+// configuration must produce a well-formed snapshot whose per-cell counts
+// passed the bench's internal batch-vs-sequential equality check, with a
+// positive speedup on every sweep.
+func TestBatchBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark loops take seconds")
+	}
+	var sb strings.Builder
+	path := filepath.Join(t.TempDir(), "BENCH_batch.json")
+	cfg := &Config{Quick: true, Out: &sb}
+	if err := cfg.BatchBench(path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mean sweep speedup") {
+		t.Errorf("missing summary line:\n%s", sb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep BatchBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+	if len(rep.Sweeps) == 0 || rep.Cells != 4 {
+		t.Fatalf("snapshot shape: %+v", rep)
+	}
+	for _, sw := range rep.Sweeps {
+		if len(sw.Qs) != 4 || len(sw.Counts) != 4 {
+			t.Errorf("%s: sweep shape %+v", sw.Graph, sw)
+		}
+		if sw.Speedup <= 0 {
+			t.Errorf("%s: speedup %f", sw.Graph, sw.Speedup)
+		}
+	}
+	if rep.MeanSpeedup <= 0 || rep.MinSpeedup <= 0 {
+		t.Errorf("summary speedups: %+v", rep)
+	}
+}

@@ -56,38 +56,76 @@ func (s State) terminal() bool {
 // Spec is what a client submits: the result-defining query plus execution
 // knobs. The graph name is resolved by the manager's loader (a kplexd
 // registry name or a data-dir path, depending on the host).
+//
+// A spec is either a single query (K, Q, TopN at the top level) or a
+// batch job (Items, with the top-level query fields left zero). A batch
+// job answers every item in one run: items with equal k share a single
+// seed-space traversal prepared at the group's loosest q (see
+// kplex.GroupBatch), and per-seed progress checkpoints the whole item
+// vector, so a resumed batch job re-enumerates only the missing seeds of
+// each traversal.
 type Spec struct {
-	Graph     string `json:"graph"`
-	K         int    `json:"k"`
-	Q         int    `json:"q"`
-	TopN      int    `json:"topn,omitempty"`      // largest plexes kept (default 10)
-	Threads   int    `json:"threads,omitempty"`   // 0: manager default
-	Scheduler string `json:"scheduler,omitempty"` // "", stages, global-queue, steal
-	Priority  int    `json:"priority,omitempty"`  // higher runs first
+	Graph     string     `json:"graph"`
+	K         int        `json:"k,omitempty"`
+	Q         int        `json:"q,omitempty"`
+	TopN      int        `json:"topn,omitempty"`      // largest plexes kept (default 10)
+	Items     []SpecItem `json:"items,omitempty"`     // batch job: one entry per query
+	Threads   int        `json:"threads,omitempty"`   // 0: manager default
+	Scheduler string     `json:"scheduler,omitempty"` // "", stages, global-queue, steal
+	Priority  int        `json:"priority,omitempty"`  // higher runs first
 }
 
-// options builds the engine configuration for one incarnation of the job.
-func (s *Spec) options(defaultThreads int) (kplex.Options, error) {
-	o := kplex.NewOptions(s.K, s.Q)
-	o.Threads = s.Threads
-	if o.Threads <= 0 {
-		o.Threads = defaultThreads
+// SpecItem is one query of a batch job: a (k, q) cell with its own top-k
+// budget.
+type SpecItem struct {
+	K    int `json:"k"`
+	Q    int `json:"q"`
+	TopN int `json:"topn,omitempty"` // default 10, capped by Config.MaxTopN
+}
+
+// resolvedItems returns the job's query items: the batch spec's Items, or
+// the single-query fields as a 1-item list. Top-k defaults are applied at
+// Submit time, so recovered manifests replay with the budgets they were
+// created with.
+func (s *Spec) resolvedItems() []SpecItem {
+	if len(s.Items) > 0 {
+		return s.Items
 	}
-	switch s.Scheduler {
-	case "", "stages":
-		o.Scheduler = kplex.SchedulerStages
-	case "global-queue":
-		o.Scheduler = kplex.SchedulerGlobalQueue
-	case "steal":
-		o.Scheduler = kplex.SchedulerSteal
-	default:
-		return kplex.Options{}, fmt.Errorf("jobs: unknown scheduler %q", s.Scheduler)
+	return []SpecItem{{K: s.K, Q: s.Q, TopN: s.TopN}}
+}
+
+// queries builds the engine configuration of every item and the
+// shared-traversal grouping for one incarnation of the job.
+func (s *Spec) queries(defaultThreads int) ([]SpecItem, []kplex.BatchGroup, error) {
+	items := s.resolvedItems()
+	qs := make([]kplex.BatchQuery, len(items))
+	for i, it := range items {
+		o := kplex.NewOptions(it.K, it.Q)
+		o.Threads = s.Threads
+		if o.Threads <= 0 {
+			o.Threads = defaultThreads
+		}
+		switch s.Scheduler {
+		case "", "stages":
+			o.Scheduler = kplex.SchedulerStages
+		case "global-queue":
+			o.Scheduler = kplex.SchedulerGlobalQueue
+		case "steal":
+			o.Scheduler = kplex.SchedulerSteal
+		default:
+			return nil, nil, fmt.Errorf("jobs: unknown scheduler %q", s.Scheduler)
+		}
+		if o.Threads > 1 {
+			// Same straggler-splitting default as the interactive query path.
+			o.TaskTimeout = 2 * time.Millisecond
+		}
+		qs[i] = kplex.BatchQuery{Opts: o}
 	}
-	if o.Threads > 1 {
-		// Same straggler-splitting default as the interactive query path.
-		o.TaskTimeout = 2 * time.Millisecond
+	groups, err := kplex.GroupBatch(qs)
+	if err != nil {
+		return nil, nil, err
 	}
-	return o, o.Validate()
+	return items, groups, nil
 }
 
 // Manifest is the durable per-job metadata, rewritten atomically on every
@@ -120,16 +158,34 @@ type Progress struct {
 	Error       string  `json:"error,omitempty"`
 }
 
-// Result is the completed job's answer, persisted as result.json.
+// Result is the completed job's answer, persisted as result.json. A
+// single-query job fills the top-level fields; a batch job additionally
+// fills Items (one entry per spec item), with the top-level Count the sum
+// and MaxSize the max across items (TopK and Histogram stay empty — each
+// item carries its own).
 type Result struct {
 	Count      int64         `json:"count"`
 	MaxSize    int           `json:"maxSize"`
 	TopK       [][]int       `json:"topk"`
 	Histogram  map[int]int64 `json:"histogram"`
 	PlexDigest string        `json:"plexDigest"` // order-independent SHA-256 XOR of the plex set
+	Items      []ItemResult  `json:"items,omitempty"`
 	Stats      kplex.Stats   `json:"stats"`
 	ElapsedMS  float64       `json:"elapsedMs"` // cumulative across incarnations
 	Resumes    int           `json:"resumes"`
+}
+
+// ItemResult is one batch item's answer, positionally aligned with the
+// spec's items.
+type ItemResult struct {
+	K          int           `json:"k"`
+	Q          int           `json:"q"`
+	TopN       int           `json:"topn"`
+	Count      int64         `json:"count"`
+	MaxSize    int           `json:"maxSize"`
+	TopK       [][]int       `json:"topk"`
+	Histogram  map[int]int64 `json:"histogram"`
+	PlexDigest string        `json:"plexDigest"`
 }
 
 // View is one job in listings: the manifest plus the live progress.
@@ -448,6 +504,10 @@ func (m *Manager) Close() {
 // Counters exposes the manager's counters.
 func (m *Manager) Counters() *Counters { return &m.counters }
 
+// maxSpecItems bounds a batch job's fan-out; like the server's item cap,
+// an open submission surface needs a ceiling.
+const maxSpecItems = 256
+
 // newJobID returns a fresh collision-resistant id.
 func newJobID() string {
 	var b [6]byte
@@ -462,13 +522,34 @@ func (m *Manager) Submit(spec Spec) (*Manifest, error) {
 	if spec.Graph == "" {
 		return nil, errors.New("jobs: graph is required")
 	}
-	if spec.TopN == 0 {
-		spec.TopN = m.cfg.DefaultTopN
+	if len(spec.Items) > 0 {
+		if spec.K != 0 || spec.Q != 0 || spec.TopN != 0 {
+			return nil, errors.New("jobs: a batch spec sets items only; leave the top-level k, q and topn zero")
+		}
+		if len(spec.Items) > maxSpecItems {
+			return nil, fmt.Errorf("jobs: too many items (%d, max %d)", len(spec.Items), maxSpecItems)
+		}
+		// Default the budgets on a private copy: the caller owns the slice's
+		// backing array, and Submit must not write through it.
+		spec.Items = append([]SpecItem(nil), spec.Items...)
+		for i := range spec.Items {
+			it := &spec.Items[i]
+			if it.TopN == 0 {
+				it.TopN = m.cfg.DefaultTopN
+			}
+			if it.TopN < 1 || it.TopN > m.cfg.MaxTopN {
+				return nil, fmt.Errorf("jobs: item %d: topn must be in [1, %d], got %d", i, m.cfg.MaxTopN, it.TopN)
+			}
+		}
+	} else {
+		if spec.TopN == 0 {
+			spec.TopN = m.cfg.DefaultTopN
+		}
+		if spec.TopN < 1 || spec.TopN > m.cfg.MaxTopN {
+			return nil, fmt.Errorf("jobs: topn must be in [1, %d], got %d", m.cfg.MaxTopN, spec.TopN)
+		}
 	}
-	if spec.TopN < 1 || spec.TopN > m.cfg.MaxTopN {
-		return nil, fmt.Errorf("jobs: topn must be in [1, %d], got %d", m.cfg.MaxTopN, spec.TopN)
-	}
-	if _, err := spec.options(m.cfg.DefaultThreads); err != nil {
+	if _, _, err := spec.queries(m.cfg.DefaultThreads); err != nil {
 		return nil, err
 	}
 

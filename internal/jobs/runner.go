@@ -14,22 +14,29 @@ import (
 	"repro/internal/kplex"
 )
 
-// jobRun is the volatile state of one incarnation of a running job.
+// jobRun is the volatile state of one incarnation of a running job. A job
+// is a vector of query items answered by one or more shared seed-space
+// traversals (see Spec.queries); seed ids are global across the
+// traversal groups — group g's local seed s is offsets[g] + s — which is
+// what lets one WAL checkpoint the whole per-seed × per-item progress.
 type jobRun struct {
 	m   *Manager
 	j   *job
 	wal *wal
 
+	items   []SpecItem
+	groups  []kplex.BatchGroup
+	offsets []int // group index -> global seed-id offset
+
 	// buffers[seed] accumulates the seed group's contributions until
-	// OnSeedDone commits them; indexed by seed id, so the per-plex hot path
-	// is a slice access plus one cold per-seed mutex.
+	// OnSeedDone commits them; indexed by global seed id, so the per-plex
+	// hot path is a slice access plus one cold per-seed mutex.
 	buffers []seedBuffer
-	topN    int
 
 	mu           sync.Mutex
-	agg          *Aggregate // cumulative over all committed seeds (incl. resumed)
-	pendingSeeds []int      // committed in memory, not yet in the WAL
-	seedsDone    int        // committed seeds, incl. resumed ones
+	aggs         []*Aggregate // cumulative per item (incl. resumed); aggs[0].Stats carries the walk counters
+	pendingSeeds []int        // committed in memory, not yet in the WAL (global ids)
+	seedsDone    int          // committed seeds, incl. resumed ones
 	doneThisRun  int
 	lastCkpt     time.Time
 	lastPublish  time.Time
@@ -40,9 +47,32 @@ type jobRun struct {
 	cancel context.CancelCauseFunc
 }
 
+// seedBuffer holds one seed group's uncommitted contributions: one
+// aggregate per member of the owning traversal group (positionally
+// aligned with that group's Members), allocated lazily — most seed groups
+// contribute nothing.
 type seedBuffer struct {
-	mu  sync.Mutex
-	agg *Aggregate
+	mu   sync.Mutex
+	aggs []*Aggregate
+}
+
+// plexesLocked sums the committed plex deliveries across items; caller
+// holds r.mu. For a single-query job this is exactly the plex count.
+func (r *jobRun) plexesLocked() int64 {
+	var n int64
+	for _, a := range r.aggs {
+		n += a.Count
+	}
+	return n
+}
+
+// groupOf locates the traversal group owning a global seed id.
+func (r *jobRun) groupOf(seed int) int {
+	gi := len(r.offsets) - 1
+	for gi > 0 && r.offsets[gi] > seed {
+		gi--
+	}
+	return gi
 }
 
 // runJob executes one incarnation of j: load the graph, wire the seed
@@ -98,7 +128,7 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 	j.resume = nil
 	j.mu.Unlock()
 
-	opts, err := spec.options(m.cfg.DefaultThreads)
+	items, groups, err := spec.queries(m.cfg.DefaultThreads)
 	if err != nil {
 		return err
 	}
@@ -109,14 +139,23 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 	}
 	defer release()
 
-	// One prepared prologue serves both the seed-space identity check and
-	// the enumeration itself; hosts with a prepared cache (kplexd) resolve
-	// it there, so resumed incarnations skip the prologue entirely.
-	prepared, err := m.prepared(g, digest, opts)
-	if err != nil {
-		return err
+	// One prepared prologue per traversal group serves both the seed-space
+	// identity check and the enumeration itself; hosts with a prepared
+	// cache (kplexd) resolve it there, so resumed incarnations skip the
+	// prologues entirely. Group offsets define the job's global seed-id
+	// space: group g's local seed s is offsets[g] + s.
+	prepared := make([]*kplex.Prepared, len(groups))
+	offsets := make([]int, len(groups))
+	totalSeeds := 0
+	for gi := range groups {
+		p, err := m.prepared(g, digest, groups[gi].Cell)
+		if err != nil {
+			return err
+		}
+		prepared[gi] = p
+		offsets[gi] = totalSeeds
+		totalSeeds += p.SeedSpace()
 	}
-	totalSeeds := prepared.SeedSpace()
 
 	// Pin (or verify) the identity of the decomposition the checkpoints
 	// refer to. A changed graph file or seed space makes every persisted
@@ -147,23 +186,41 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 	r := &jobRun{
 		m:       m,
 		j:       j,
-		topN:    spec.TopN,
+		items:   items,
+		groups:  groups,
+		offsets: offsets,
 		buffers: make([]seedBuffer, totalSeeds),
-		agg:     NewAggregate(spec.TopN),
+		aggs:    make([]*Aggregate, len(items)),
 		started: time.Now(),
 		cancel:  cancel,
 	}
+	for i, it := range items {
+		r.aggs[i] = NewAggregate(it.TopN)
+	}
 	r.lastCkpt = r.started
 
-	// Rebuild the durable state of previous incarnations.
-	var skip *kplex.SeedSet
+	// Rebuild the durable state of previous incarnations. The global skip
+	// set localises into one per-group set, since each group's engine run
+	// speaks its own seed-id space.
+	skips := make([]*kplex.SeedSet, len(groups))
 	if resume != nil && len(resume.doneSeeds) > 0 {
-		skip = kplex.NewSeedSet(resume.doneSeeds...)
-		if skip.Max() >= totalSeeds {
-			return fmt.Errorf("checkpoint names seed %d outside the %d-seed space; delete and resubmit", skip.Max(), totalSeeds)
+		for _, s := range resume.doneSeeds {
+			if s >= totalSeeds {
+				return fmt.Errorf("checkpoint names seed %d outside the %d-seed space; delete and resubmit", s, totalSeeds)
+			}
+			gi := r.groupOf(s)
+			if skips[gi] == nil {
+				skips[gi] = &kplex.SeedSet{}
+			}
+			skips[gi].Add(s - offsets[gi])
 		}
-		r.agg = resume.agg
-		r.agg.TopN = spec.TopN
+		if len(resume.aggs) != len(items) {
+			return fmt.Errorf("checkpoint holds %d item aggregates but the spec has %d items; delete and resubmit", len(resume.aggs), len(items))
+		}
+		r.aggs = resume.aggs
+		for i := range r.aggs {
+			r.aggs[i].TopN = items[i].TopN
+		}
 		r.seedsDone = len(resume.doneSeeds)
 		r.baseEnumMS = resume.enumMS
 	}
@@ -189,17 +246,13 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 		State:      j.man.State,
 		SeedsDone:  r.seedsDone,
 		TotalSeeds: totalSeeds,
-		Plexes:     r.agg.Count,
+		Plexes:     r.plexesLocked(),
 	}
 	if err := writeManifest(j.dir, &j.man); err != nil {
 		m.cfg.Logf("jobs: %s: %v", j.man.ID, err)
 	}
 	j.publishLocked()
 	j.mu.Unlock()
-
-	opts.SkipSeeds = skip
-	opts.OnPlexSeed = r.onPlex
-	opts.OnSeedDone = r.onSeedDone
 
 	// Interval flusher: a job whose seeds complete slowly must still
 	// checkpoint every CheckpointInterval.
@@ -222,7 +275,20 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 		}
 	}()
 
-	_, runErr := kplex.RunPrepared(runCtx, prepared, opts)
+	// Walk the traversal groups one after another; each walk fans its
+	// plexes out to the group's members and reports per-seed completion in
+	// the global id space.
+	var runErr error
+	for gi := range groups {
+		opts := groups[gi].Cell
+		opts.SkipSeeds = skips[gi]
+		gi := gi
+		opts.OnPlexSeed = func(seed int, plex []int) { r.onPlex(gi, seed, plex) }
+		opts.OnSeedDone = func(seed int, partial kplex.Stats) { r.onSeedDone(gi, seed, partial) }
+		if _, runErr = kplex.RunPrepared(runCtx, prepared[gi], opts); runErr != nil {
+			break
+		}
+	}
 	cancel(nil)
 	<-flusherDone
 
@@ -258,20 +324,50 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 		SeedsDone:   r.seedsDone,
 		TotalSeeds:  totalSeeds,
 		Checkpoints: int64(r.wal.seq),
-		Plexes:      r.agg.Count,
+		Plexes:      r.plexesLocked(),
 		ElapsedMS:   float64(time.Since(r.started)) / float64(time.Millisecond),
 	}
 	j.mu.Unlock()
 
 	final := Result{
-		Count:      r.agg.Count,
-		MaxSize:    r.agg.MaxSize,
-		TopK:       r.agg.TopK,
-		Histogram:  r.agg.Histogram,
-		PlexDigest: r.agg.PlexDigest(),
-		Stats:      r.agg.Stats,
-		ElapsedMS:  elapsedMS,
-		Resumes:    resumes,
+		Stats:     r.aggs[0].Stats,
+		ElapsedMS: elapsedMS,
+		Resumes:   resumes,
+	}
+	if len(spec.Items) == 0 {
+		// A single-query spec keeps the original result shape. A batch spec
+		// fills Items even when it holds one item — clients that submitted
+		// a vector read a vector back.
+		a := r.aggs[0]
+		final.Count = a.Count
+		final.MaxSize = a.MaxSize
+		final.TopK = a.TopK
+		final.Histogram = a.Histogram
+		final.PlexDigest = a.PlexDigest()
+	} else {
+		for i, a := range r.aggs {
+			item := ItemResult{
+				K:          items[i].K,
+				Q:          items[i].Q,
+				TopN:       items[i].TopN,
+				Count:      a.Count,
+				MaxSize:    a.MaxSize,
+				TopK:       a.TopK,
+				Histogram:  a.Histogram,
+				PlexDigest: a.PlexDigest(),
+			}
+			if item.TopK == nil {
+				item.TopK = [][]int{}
+			}
+			if item.Histogram == nil {
+				item.Histogram = map[int]int64{}
+			}
+			final.Items = append(final.Items, item)
+			final.Count += a.Count
+			if a.MaxSize > final.MaxSize {
+				final.MaxSize = a.MaxSize
+			}
+		}
 	}
 	if final.TopK == nil {
 		final.TopK = [][]int{}
@@ -308,32 +404,49 @@ func (m *Manager) interruptCause(ctx context.Context, fallback error) error {
 	}
 }
 
-// onPlex buffers one plex into its seed group's pending aggregate.
-func (r *jobRun) onPlex(seed int, plex []int) {
-	buf := &r.buffers[seed]
+// onPlex buffers one plex into its seed group's pending aggregates: one
+// per member of the owning traversal group whose size threshold the plex
+// meets (the walk runs at the group's loosest q, so stricter members see
+// a filtered view).
+func (r *jobRun) onPlex(gi, seed int, plex []int) {
+	members := r.groups[gi].Members
+	buf := &r.buffers[r.offsets[gi]+seed]
 	buf.mu.Lock()
-	if buf.agg == nil {
-		buf.agg = NewAggregate(r.topN)
+	if buf.aggs == nil {
+		buf.aggs = make([]*Aggregate, len(members))
 	}
-	buf.agg.AddPlex(plex)
+	for pos, item := range members {
+		if len(plex) < r.items[item].Q {
+			continue
+		}
+		if buf.aggs[pos] == nil {
+			buf.aggs[pos] = NewAggregate(r.items[item].TopN)
+		}
+		buf.aggs[pos].AddPlex(plex)
+	}
 	buf.mu.Unlock()
 }
 
-// onSeedDone commits a completed seed group to the cumulative aggregate
-// and checkpoints when the batch or interval threshold is reached.
-func (r *jobRun) onSeedDone(seed int, partial kplex.Stats) {
-	buf := &r.buffers[seed]
+// onSeedDone commits a completed seed group to the cumulative per-item
+// aggregates and checkpoints when the batch or interval threshold is
+// reached.
+func (r *jobRun) onSeedDone(gi, seed int, partial kplex.Stats) {
+	members := r.groups[gi].Members
+	global := r.offsets[gi] + seed
+	buf := &r.buffers[global]
 	buf.mu.Lock()
-	a := buf.agg
-	buf.agg = nil
+	pending := buf.aggs
+	buf.aggs = nil
 	buf.mu.Unlock()
 
 	r.mu.Lock()
-	if a != nil {
-		r.agg.Merge(a)
+	for pos, a := range pending {
+		if a != nil {
+			r.aggs[members[pos]].Merge(a)
+		}
 	}
-	r.agg.Stats.Add(partial)
-	r.pendingSeeds = append(r.pendingSeeds, seed)
+	r.aggs[0].Stats.Add(partial)
+	r.pendingSeeds = append(r.pendingSeeds, global)
 	r.seedsDone++
 	r.doneThisRun++
 	r.m.counters.SeedsDone.Add(1)
@@ -372,7 +485,7 @@ func (r *jobRun) progressLocked() Progress {
 		State:      StateRunning,
 		SeedsDone:  r.seedsDone,
 		TotalSeeds: len(r.buffers),
-		Plexes:     r.agg.Count,
+		Plexes:     r.plexesLocked(),
 		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
 	}
 	if r.wal.seq > 0 {
@@ -397,8 +510,17 @@ func (r *jobRun) flushLocked() {
 	enumMS := r.baseEnumMS + float64(time.Since(r.started))/float64(time.Millisecond)
 	rec := &walRecord{
 		Seeds:  r.pendingSeeds,
-		Agg:    r.agg.snapshot(),
 		EnumMS: enumMS,
+	}
+	if len(r.aggs) == 1 {
+		// The original single-aggregate format: logs stay replayable by (and
+		// byte-compatible with) the pre-batch layout.
+		rec.Agg = r.aggs[0].snapshot()
+	} else {
+		rec.Items = make([]*Aggregate, len(r.aggs))
+		for i, a := range r.aggs {
+			rec.Items[i] = a.snapshot()
+		}
 	}
 	if err := r.wal.append(rec); err != nil {
 		r.m.cfg.Logf("jobs: %s: checkpoint write failed (retrying next flush): %v", r.j.man.ID, err)

@@ -23,11 +23,17 @@ import (
 
 const walName = "wal.ndjson"
 
-// walRecord is one fsynced checkpoint.
+// walRecord is one fsynced checkpoint. Single-item jobs persist their one
+// cumulative aggregate as Agg (the original format, so logs written before
+// batch jobs existed replay unchanged); multi-item batch jobs persist the
+// per-item aggregate vector as Items, positionally aligned with the
+// spec's items. Seed ids are global across the job's traversal groups
+// (group g's local seed s is recorded as offset_g + s).
 type walRecord struct {
-	Seq   int        `json:"seq"`
-	Seeds []int      `json:"seeds"` // completed since the previous record
-	Agg   *Aggregate `json:"agg"`   // cumulative, covering all seeds so far
+	Seq   int          `json:"seq"`
+	Seeds []int        `json:"seeds"`           // completed since the previous record
+	Agg   *Aggregate   `json:"agg,omitempty"`   // cumulative, covering all seeds so far
+	Items []*Aggregate `json:"items,omitempty"` // multi-item jobs: one cumulative aggregate per item
 	// EnumMS is the cumulative enumeration wall-clock of the job across
 	// incarnations up to this checkpoint, for honest elapsed reporting
 	// after a resume.
@@ -86,7 +92,7 @@ func (w *wal) Close() error { return w.f.Close() }
 // walReplay is the durable state reconstructed from a log.
 type walReplay struct {
 	doneSeeds  []int
-	agg        *Aggregate // nil when the log holds no valid record
+	aggs       []*Aggregate // per-item cumulative aggregates; nil when the log holds no valid record
 	lastSeq    int
 	enumMS     float64
 	truncated  bool  // a torn or corrupt tail was discarded
@@ -133,7 +139,7 @@ func replayWAL(path string) (*walReplay, error) {
 			break
 		}
 		var rec walRecord
-		if err := json.Unmarshal([]byte(payload), &rec); err != nil || rec.Agg == nil {
+		if err := json.Unmarshal([]byte(payload), &rec); err != nil || (rec.Agg == nil && len(rec.Items) == 0) {
 			rep.truncated = true
 			break
 		}
@@ -143,7 +149,18 @@ func replayWAL(path string) (*walReplay, error) {
 			rep.truncated = true
 			break
 		}
-		if err := rec.Agg.unseal(); err != nil {
+		aggs := rec.Items
+		if aggs == nil {
+			aggs = []*Aggregate{rec.Agg}
+		}
+		unsealOK := true
+		for _, a := range aggs {
+			if a == nil || a.unseal() != nil {
+				unsealOK = false
+				break
+			}
+		}
+		if !unsealOK {
 			rep.truncated = true
 			break
 		}
@@ -154,7 +171,7 @@ func replayWAL(path string) (*walReplay, error) {
 			seen[s] = true
 			rep.doneSeeds = append(rep.doneSeeds, s)
 		}
-		rep.agg = rec.Agg
+		rep.aggs = aggs
 		rep.lastSeq = rec.Seq
 		rep.enumMS = rec.EnumMS
 		rep.validBytes += int64(idx) + 1

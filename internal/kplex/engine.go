@@ -29,9 +29,19 @@ type engine struct {
 	pending atomic.Int64  // tasks pushed but not yet finished
 	seeding atomic.Int64  // workers still generating tasks this stage
 	stop    atomic.Bool
+	// extStop, when non-nil, is an additional stop flag owned by the
+	// caller (Options.earlyStop). Unlike context cancellation, which is
+	// mirrored into stop by a watcher goroutine, a store to extStop is
+	// observed synchronously by the very next cancellation check — the
+	// batch layer's top-k saturation uses it so a deterministic sequential
+	// walk stops before the next seed rather than a scheduling quantum
+	// later.
+	extStop *atomic.Bool
 }
 
-func (e *engine) cancelled() bool { return e.stop.Load() }
+func (e *engine) cancelled() bool {
+	return e.stop.Load() || (e.extStop != nil && e.extStop.Load())
+}
 
 // getStorage takes a recycled seedStorage from the pool (or a fresh one).
 func (e *engine) getStorage() *seedStorage {

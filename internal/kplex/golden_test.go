@@ -120,6 +120,128 @@ func readGoldenCase(t *testing.T, c goldenCase) goldenCase {
 	return want
 }
 
+// goldenBatch is the batch-mode golden document of one corpus graph: the
+// per-cell digests of a multi-cell batch answered by shared traversals.
+// Committed as testdata/golden/<graph>_batch.json; regenerate with
+// -update after an intentional change.
+type goldenBatch struct {
+	Graph string       `json:"graph"`
+	Cells []goldenCase `json:"cells"`
+}
+
+func goldenBatchPath(name string) string {
+	return filepath.Join("testdata", "golden", name+"_batch.json")
+}
+
+// enumerateGoldenBatch answers every cell of batchGridCells(name) through
+// one EnumerateBatch call (count members with plex collectors) and
+// returns the per-cell digests.
+func enumerateGoldenBatch(t *testing.T, cg gen.CorpusGraph) goldenBatch {
+	t.Helper()
+	g := cg.Build()
+	cells := batchGridCells(cg.Name)
+	queries := make([]BatchQuery, len(cells))
+	plexes := make([][][]int, len(cells))
+	for i, kq := range cells {
+		i := i
+		opts := NewOptions(kq[0], kq[1])
+		opts.OnPlex = func(p []int) { plexes[i] = append(plexes[i], append([]int(nil), p...)) }
+		queries[i] = BatchQuery{Opts: opts, Mode: BatchCount}
+	}
+	results, err := RunBatch(context.Background(), g, queries)
+	if err != nil {
+		t.Fatalf("%s: %v", cg.Name, err)
+	}
+	doc := goldenBatch{Graph: cg.Name}
+	for i, kq := range cells {
+		doc.Cells = append(doc.Cells, goldenCase{
+			Graph:   cg.Name,
+			K:       kq[0],
+			Q:       kq[1],
+			Count:   results[i].Count,
+			MaxSize: int(results[i].Stats.MaxPlexSize),
+			SHA256:  canonicalHash(plexes[i]),
+		})
+	}
+	return doc
+}
+
+// TestGoldenCorpusBatch pins the batch path against its own committed
+// digests: one shared-traversal batch per corpus graph, each cell's
+// (count, max size, canonical plex-set hash) compared to
+// testdata/golden/<graph>_batch.json.
+func TestGoldenCorpusBatch(t *testing.T) {
+	for _, cg := range gen.Corpus() {
+		cg := cg
+		t.Run(cg.Name, func(t *testing.T) {
+			t.Parallel()
+			got := enumerateGoldenBatch(t, cg)
+			path := goldenBatchPath(cg.Name)
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			var want goldenBatch
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			if len(got.Cells) != len(want.Cells) {
+				t.Fatalf("cell count %d, golden has %d", len(got.Cells), len(want.Cells))
+			}
+			for i := range got.Cells {
+				if got.Cells[i] != want.Cells[i] {
+					t.Errorf("cell %d mismatch\n got: %+v\nwant: %+v", i, got.Cells[i], want.Cells[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusOneElementBatch re-verifies every committed single-query
+// golden file through the batch path with a 1-element batch, pinning the
+// single-query and batch semantics against each other: a divergence in
+// either path breaks exactly one of the two golden suites.
+func TestGoldenCorpusOneElementBatch(t *testing.T) {
+	for _, cg := range gen.Corpus() {
+		for _, kq := range goldenCombos(cg.Name) {
+			cg, k, q := cg, kq[0], kq[1]
+			t.Run(fmt.Sprintf("%s/k%d_q%d", cg.Name, k, q), func(t *testing.T) {
+				t.Parallel()
+				g := cg.Build()
+				var plexes [][]int
+				opts := NewOptions(k, q)
+				opts.OnPlex = func(p []int) { plexes = append(plexes, append([]int(nil), p...)) }
+				results, err := RunBatch(context.Background(), g, []BatchQuery{{Opts: opts, Mode: BatchCount}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := goldenCase{
+					Graph:   cg.Name,
+					K:       k,
+					Q:       q,
+					Count:   results[0].Count,
+					MaxSize: int(results[0].Stats.MaxPlexSize),
+					SHA256:  canonicalHash(plexes),
+				}
+				want := readGoldenCase(t, got)
+				if got != want {
+					t.Errorf("1-element batch diverges from the single-query golden\n got: %+v\nwant: %+v", got, want)
+				}
+			})
+		}
+	}
+}
+
 func TestGoldenCorpus(t *testing.T) {
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {

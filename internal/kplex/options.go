@@ -10,6 +10,7 @@ package kplex
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -227,6 +228,15 @@ type Options struct {
 	// measured overhead.
 	OnSeedDone func(seed int, partial Stats)
 
+	// earlyStop, when non-nil, is an additional engine stop flag the caller
+	// owns: storing true halts the run at the next cancellation check,
+	// without the goroutine hop a context cancellation takes to reach the
+	// engine's internal flag. Package-internal — the batch layer sets it
+	// from its top-k saturation hook so the shared walk stops
+	// deterministically (a sequential walk never starts another seed after
+	// saturating).
+	earlyStop *atomic.Bool
+
 	// SkipSeeds names seed groups to skip entirely, without reporting them
 	// to OnSeedDone: the resume path for a run whose listed seeds were
 	// already enumerated and persisted. Seed ids refer to the deterministic
@@ -292,6 +302,33 @@ func (o *Options) Validate() error {
 		// is always a caller bug (typically a resume path that forgot to
 		// re-install its hooks).
 		return errors.New("kplex: SkipSeeds without OnSeedDone, OnPlex or OnPlexSeed would silently drop results; install a hook or clear the skip set")
+	}
+	return nil
+}
+
+// ValidateBatchMember reports whether the options may serve as one member
+// of a shared-traversal batch (see RunBatch). On top of Validate, it
+// rejects every per-query knob whose semantics are tied to owning the
+// traversal: inside a batch, one walk at the group's loosest (k, q) cell
+// serves every member, so a member-level FirstOnly would stop the walk for
+// everyone, a member-level SkipSeeds names seed ids of the member's own
+// (k, q) decomposition — not the group's — and the seed hooks
+// (OnSeedDone / OnPlexSeed) would report the group cell's seed space,
+// corrupting any member-level checkpoint built from them. OnPlex remains
+// allowed: it receives exactly the member's own result set.
+func (o *Options) ValidateBatchMember() error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case o.FirstOnly:
+		return errors.New("kplex: FirstOnly is not allowed on a batch member: the shared traversal serves every member, so one member's early stop would truncate the others' result sets; issue the existence query on its own")
+	case o.SkipSeeds.Len() > 0:
+		return errors.New("kplex: SkipSeeds is not allowed on a batch member: seed ids are defined by the member's own (K, Q, UseCTCP) decomposition, but the batch walks the group's loosest cell, so the skip set would silently skip the wrong subproblems; resume with a dedicated run")
+	case o.OnSeedDone != nil:
+		return errors.New("kplex: OnSeedDone is not allowed on a batch member: completion callbacks would carry seed ids of the shared group cell, not the member's own decomposition; checkpoint batches through the jobs layer instead")
+	case o.OnPlexSeed != nil:
+		return errors.New("kplex: OnPlexSeed is not allowed on a batch member: seed attribution refers to the shared group cell, not the member's own decomposition; use OnPlex for per-member delivery")
 	}
 	return nil
 }

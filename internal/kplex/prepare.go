@@ -101,7 +101,7 @@ func RunPrepared(ctx context.Context, p *Prepared, opts Options) (Result, error)
 		return Result{}, fmt.Errorf("kplex: SkipSeeds contains seed %d but this run has only %d seed groups (was the checkpoint written against a different graph or different K/Q/UseCTCP?)", m, relab.N())
 	}
 
-	e := &engine{opts: opts, g: relab, prep: p.pg, toInput: p.pg.ToInputIDs()}
+	e := &engine{opts: opts, g: relab, prep: p.pg, toInput: p.pg.ToInputIDs(), extStop: opts.earlyStop}
 	threads := opts.Threads
 	if threads < 1 {
 		threads = 1

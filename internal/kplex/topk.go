@@ -67,6 +67,33 @@ func EnumerateTopK(ctx context.Context, g *graph.Graph, opts Options, topN int) 
 	return EnumerateTopKPrepared(ctx, p, opts, topN)
 }
 
+// topkOffer folds one plex into a bounded min-heap keeping the topN
+// largest (ties kept lexicographically smallest). Shared by EnumerateTopK
+// and the batch layer so the two paths keep identical tie semantics.
+func (h *plexHeap) topkOffer(p []int, topN int) {
+	if len(*h) < topN {
+		heap.Push(h, append([]int(nil), p...))
+		return
+	}
+	if len(p) > len((*h)[0]) || (len(p) == len((*h)[0]) && lexGreater((*h)[0], p)) {
+		(*h)[0] = append([]int(nil), p...)
+		heap.Fix(h, 0)
+	}
+}
+
+// topkSorted returns the heap's contents in reporting order: size
+// descending, ties by ascending vertex sequence. The heap is consumed.
+func (h plexHeap) topkSorted() [][]int {
+	out := [][]int(h)
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return lexGreater(out[j], out[i])
+	})
+	return out
+}
+
 // EnumerateTopKPrepared is EnumerateTopK against a Prepared handle,
 // skipping the run prologue.
 func EnumerateTopKPrepared(ctx context.Context, p *Prepared, opts Options, topN int) ([][]int, Result, error) {
@@ -78,25 +105,11 @@ func EnumerateTopKPrepared(ctx context.Context, p *Prepared, opts Options, topN 
 	opts.OnPlex = func(p []int) {
 		mu.Lock()
 		defer mu.Unlock()
-		if len(h) < topN {
-			heap.Push(&h, append([]int(nil), p...))
-			return
-		}
-		if len(p) > len(h[0]) || (len(p) == len(h[0]) && lexGreater(h[0], p)) {
-			h[0] = append([]int(nil), p...)
-			heap.Fix(&h, 0)
-		}
+		h.topkOffer(p, topN)
 	}
 	res, err := RunPrepared(ctx, p, opts)
 	if err != nil {
 		return nil, res, err
 	}
-	out := [][]int(h)
-	sort.Slice(out, func(i, j int) bool {
-		if len(out[i]) != len(out[j]) {
-			return len(out[i]) > len(out[j])
-		}
-		return lexGreater(out[j], out[i])
-	})
-	return out, res, nil
+	return h.topkSorted(), res, nil
 }

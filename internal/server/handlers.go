@@ -66,6 +66,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /graphs", s.handleLoadGraph)
 	s.mux.HandleFunc("DELETE /graphs/{name...}", s.handleEvictGraph)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("GET /stream", s.handleStreamGet)
 	s.jobsRoutes()
 }

@@ -12,7 +12,8 @@ import (
 // batching behaviour — "N identical concurrent queries, one execution" —
 // through Executions, FlightShared and CacheHits rather than by timing.
 type metrics struct {
-	Queries          atomic.Int64 // cacheable queries accepted (count/topk/histogram)
+	Queries          atomic.Int64 // cacheable queries accepted (count/topk/histogram; batch items count individually)
+	Batches          atomic.Int64 // POST /batch requests accepted
 	Streams          atomic.Int64 // streaming queries accepted
 	Executions       atomic.Int64 // enumerations actually run for cacheable queries
 	CacheHits        atomic.Int64 // answered straight from the result cache
@@ -32,6 +33,7 @@ type metrics struct {
 func (m *metrics) snapshot() map[string]int64 {
 	return map[string]int64{
 		"queries":           m.Queries.Load(),
+		"batches":           m.Batches.Load(),
 		"streams":           m.Streams.Load(),
 		"executions":        m.Executions.Load(),
 		"cache_hits":        m.CacheHits.Load(),

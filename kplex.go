@@ -66,6 +66,14 @@ type (
 	// relabelled working graph for one (graph, K, Q, UseCTCP) cell. See
 	// Prepare.
 	Prepared = kplex.Prepared
+	// BatchQuery is one member of a batched multi-query run: an options
+	// cell plus its reporting mode. See EnumerateBatchQueries.
+	BatchQuery = kplex.BatchQuery
+	// BatchResult is one batch member's answer.
+	BatchResult = kplex.BatchResult
+	// BatchMode selects what a batch member reports (count / top-k /
+	// histogram).
+	BatchMode = kplex.BatchMode
 )
 
 // Re-exported enumeration constants.
@@ -81,6 +89,9 @@ const (
 	SchedulerStages    = kplex.SchedulerStages
 	SchedulerGlobal    = kplex.SchedulerGlobalQueue
 	SchedulerSteal     = kplex.SchedulerSteal
+	BatchCount         = kplex.BatchCount
+	BatchTopK          = kplex.BatchTopK
+	BatchHistogram     = kplex.BatchHistogram
 )
 
 // Re-exported graph file formats (see ReadGraphFormatFile).
@@ -132,6 +143,47 @@ func Prepare(g *Graph, opts Options) (*Prepared, error) { return kplex.Prepare(g
 // scheduler, hooks, skip sets) are free to vary per run.
 func EnumeratePrepared(ctx context.Context, p *Prepared, opts Options) (Result, error) {
 	return kplex.RunPrepared(ctx, p, opts)
+}
+
+// EnumerateBatch evaluates a set of queries against one graph, sharing a
+// single seed-space traversal among every compatible group of cells: two
+// queries with equal K (and UseCTCP) are answered by one walk prepared at
+// the loosest (smallest) Q of the group, with each discovered plex fanned
+// out to the members whose threshold it meets. A parameter sweep over q
+// therefore pays one prologue and one traversal instead of one per cell —
+// see the README's "Batched sweeps" section for when this beats the
+// prepared-graph cache alone.
+//
+// Each element of opts is one count-style query; its OnPlex hook (if any)
+// receives exactly that member's result set. Per-query knobs that assume
+// ownership of the traversal (FirstOnly, SkipSeeds, OnSeedDone,
+// OnPlexSeed) are rejected — see Options.ValidateBatchMember. The i-th
+// Result is identical to Enumerate(ctx, g, opts[i]) up to the shared
+// search counters (Count, MaxPlexSize and delivered plexes match exactly;
+// Stats otherwise describe the shared walk). For top-k or histogram
+// members, use EnumerateBatchQueries.
+func EnumerateBatch(ctx context.Context, g *Graph, opts []Options) ([]Result, error) {
+	queries := make([]BatchQuery, len(opts))
+	for i, o := range opts {
+		queries[i] = BatchQuery{Opts: o, Mode: kplex.BatchCount}
+	}
+	batch, err := kplex.RunBatch(ctx, g, queries)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(batch))
+	for i, b := range batch {
+		out[i] = Result{Count: b.Count, Stats: b.Stats, Elapsed: b.Elapsed}
+	}
+	return out, nil
+}
+
+// EnumerateBatchQueries is the mode-aware batch entry point: members may
+// mix count, top-k and histogram reporting (see BatchQuery). Results are
+// positionally aligned with queries; members answered by one shared
+// traversal report the same BatchResult.Group.
+func EnumerateBatchQueries(ctx context.Context, g *Graph, queries []BatchQuery) ([]BatchResult, error) {
+	return kplex.RunBatch(ctx, g, queries)
 }
 
 // EnumerateAll is a convenience wrapper that collects every maximal k-plex
