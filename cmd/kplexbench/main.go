@@ -12,10 +12,11 @@
 //	kplexbench -ext jobs       # extension: job-subsystem checkpoint overhead
 //	kplexbench -ext prepare    # extension: prepared-graph prologue amortization
 //	kplexbench -ext batch      # extension: batched q-sweep amortization
+//	kplexbench -ext kernels    # extension: dense-vs-merge seed kernels
 //	kplexbench -json FILE      # write the selected extension's machine-readable
 //	                           # snapshot to FILE; alone it implies -ext jobs
 //	                           # (defaults: BENCH_jobs.json / BENCH_prepare.json /
-//	                           # BENCH_batch.json)
+//	                           # BENCH_batch.json / BENCH_kernels.json)
 //	kplexbench -quick ...      # representative subset, ~1 minute total
 //	kplexbench -threads 8 ...  # worker count for the parallel experiments
 package main
@@ -34,7 +35,7 @@ func main() {
 	var (
 		table    = flag.Int("table", 0, "regenerate one table (2-7)")
 		figure   = flag.Int("figure", 0, "regenerate one figure (7, 8, 9, 13)")
-		ext      = flag.String("ext", "", "extension experiment: ubcolor, maximum, scheduler, jobs or prepare")
+		ext      = flag.String("ext", "", "extension experiment: ubcolor, maximum, scheduler, jobs, prepare, batch or kernels")
 		all      = flag.Bool("all", false, "regenerate everything")
 		quick    = flag.Bool("quick", false, "representative subset only")
 		threads  = flag.Int("threads", 0, "parallel worker count (default min(16, CPUs))")
@@ -55,6 +56,10 @@ func main() {
 	batchJSON := *jsonPath
 	if batchJSON == "" {
 		batchJSON = "BENCH_batch.json"
+	}
+	kernelsJSON := *jsonPath
+	if kernelsJSON == "" {
+		kernelsJSON = "BENCH_kernels.json"
 	}
 
 	type job struct {
@@ -81,12 +86,13 @@ func main() {
 		"jobs":      {name: "Jobs checkpoint overhead (extension)", run: func() error { return cfg.JobsBench(benchJSON) }, ext: true},
 		"prepare":   {name: "Prepared-graph amortization (extension)", run: func() error { return cfg.PrepareBench(prepareJSON) }, ext: true},
 		"batch":     {name: "Batched-sweep amortization (extension)", run: func() error { return cfg.BatchBench(batchJSON) }, ext: true},
+		"kernels":   {name: "Seed-kernel dense-vs-merge (extension)", run: func() error { return cfg.KernelsBench(kernelsJSON) }, ext: true},
 	}
 	order := []string{
 		"table2", "table3", "figure7", "table4", "figure8",
 		"table5", "table6", "figure9", "figure13", "figure14",
 		"figure15", "table7", "ubcolor", "maximum", "scheduler",
-		"jobs", "prepare", "batch",
+		"jobs", "prepare", "batch", "kernels",
 	}
 
 	var selected []string

@@ -71,21 +71,23 @@ func run() error {
 		queryBudget  = flag.Duration("query-timeout", 5*time.Minute, "time budget of one cacheable enumeration")
 		threads      = flag.Int("threads", 0, "default engine threads per query (0: NumCPU)")
 		maxK         = flag.Int("max-k", 8, "largest accepted k")
+		routeAsync   = flag.Duration("route-async-threshold", 30*time.Second, "predicted runtime above which route=auto queries become background jobs (requires -jobs)")
 		preload      = flag.String("preload", "", "comma-separated graph names to load at startup")
 	)
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
-		DataDir:           *dataDir,
-		JobsDir:           *jobsDir,
-		JobWorkers:        *jobWorkers,
-		MaxResidentGraphs: *maxGraphs,
-		CacheEntries:      *cacheEntries,
-		MaxConcurrent:     *maxConc,
-		AdmissionTimeout:  *admitWait,
-		QueryTimeout:      *queryBudget,
-		DefaultThreads:    *threads,
-		MaxK:              *maxK,
+		DataDir:             *dataDir,
+		JobsDir:             *jobsDir,
+		JobWorkers:          *jobWorkers,
+		MaxResidentGraphs:   *maxGraphs,
+		CacheEntries:        *cacheEntries,
+		MaxConcurrent:       *maxConc,
+		AdmissionTimeout:    *admitWait,
+		QueryTimeout:        *queryBudget,
+		DefaultThreads:      *threads,
+		MaxK:                *maxK,
+		RouteAsyncThreshold: *routeAsync,
 	})
 	if err != nil {
 		return err

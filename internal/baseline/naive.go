@@ -78,16 +78,11 @@ func ListPlexOptions(k, q int) kplex.Options {
 // FPOptions configures the engine as the FP baseline: one task per seed
 // over the whole later 2-hop candidate set (the O(γ^|C|) scheme the paper
 // improves on), with FP's sort-based upper bound and no pair rules.
-// SerializeSeedBuild is still set for fidelity to the historical preset,
-// but it is a no-op since the seed pipeline went allocation-free — the
-// construction bottleneck the paper observes in FP's parallel
-// implementation no longer exists to reproduce.
 func FPOptions(k, q int) kplex.Options {
 	o := kplex.NewOptions(k, q)
 	o.Partition = kplex.PartitionWhole2Hop
 	o.UpperBound = kplex.UBSortFP
 	o.UseSubtaskBound = false
 	o.UsePairPruning = false
-	o.SerializeSeedBuild = true
 	return o
 }

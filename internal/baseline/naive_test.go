@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/kplex"
 )
 
 func buildGraph(t *testing.T, n int, edges [][2]int) *graph.Graph {
@@ -113,7 +114,7 @@ func TestBaselineOptionPresets(t *testing.T) {
 	if err := fp.Validate(); err != nil {
 		t.Fatalf("FPOptions invalid: %v", err)
 	}
-	if !fp.SerializeSeedBuild {
-		t.Fatal("FP preset must serialise seed builds")
+	if fp.Partition != kplex.PartitionWhole2Hop {
+		t.Fatal("FP preset must use the whole-2-hop partition")
 	}
 }

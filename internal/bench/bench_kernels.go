@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kplex"
+)
+
+// The seed-kernel benchmark: what the bit-parallel dense peel buys over the
+// merge-based peel it routes around under Options.DenseCrossover. The
+// kernel choice only touches seed-graph construction, so each cell times a
+// full seed-build pass (every seed, engine-style scratch reuse) under both
+// kernels, plus the end-to-end enumeration under both, and — because a fast
+// wrong kernel is worse than no kernel — re-verifies in-bench that the two
+// paths enumerate identical plex counts. The snapshot (BENCH_kernels.json)
+// is published by CI's bench-kernels-smoke job.
+
+// KernelsBenchCell is one (graph, k, q) measurement.
+type KernelsBenchCell struct {
+	Graph string `json:"graph"`
+	N     int    `json:"n"`
+	K     int    `json:"k"`
+	Q     int    `json:"q"`
+
+	Builds      int   `json:"builds"`      // non-nil seed graphs per pass
+	DenseBuilds int64 `json:"denseBuilds"` // builds through the dense peel (dense pass)
+	Count       int64 `json:"count"`       // plexes enumerated (equal under both kernels)
+
+	MergeBuildMS float64 `json:"mergeBuildMs"` // seed-build pass, merge peel (DenseCrossover = -1)
+	DenseBuildMS float64 `json:"denseBuildMs"` // seed-build pass, dense peel forced
+	BuildSpeedup float64 `json:"buildSpeedup"` // MergeBuildMS / DenseBuildMS
+
+	MergeRunMS float64 `json:"mergeRunMs"` // full enumeration, merge peel
+	DenseRunMS float64 `json:"denseRunMs"` // full enumeration, dense peel
+	RunSpeedup float64 `json:"runSpeedup"` // MergeRunMS / DenseRunMS
+
+	CountsEqual bool `json:"countsEqual"`
+}
+
+// KernelsBenchReport is the BENCH_kernels.json document.
+type KernelsBenchReport struct {
+	Tool            string             `json:"tool"`
+	Reps            int                `json:"reps"`
+	Cells           []KernelsBenchCell `json:"cells"`
+	MaxBuildSpeedup float64            `json:"maxBuildSpeedup"`
+	MaxRunSpeedup   float64            `json:"maxRunSpeedup"`
+	AllCountsEqual  bool               `json:"allCountsEqual"`
+}
+
+// kernelsBenchGraph is one benchmark graph: the corpus dense cells plus
+// larger synthetic graphs where N¹ is wide enough for word-parallelism to
+// matter (the corpus tops out at 200 vertices; the kernel's stride
+// advantage grows with |N¹|).
+type kernelsBenchGraph struct {
+	name  string
+	build func() *graph.Graph
+}
+
+func kernelsBenchGraphs(quick bool) []kernelsBenchGraph {
+	gs := []kernelsBenchGraph{
+		{"gnp-dense", func() *graph.Graph { return gen.GNP(70, 0.22, 44) }},
+		{"gnp-300", func() *graph.Graph { return gen.GNP(300, 0.3, 13) }},
+		{"ba-400-hubs", func() *graph.Graph { return gen.BarabasiAlbert(400, 20, 13) }},
+	}
+	if !quick {
+		gs = append(gs,
+			kernelsBenchGraph{"gnp-500", func() *graph.Graph { return gen.GNP(500, 0.18, 13) }},
+			kernelsBenchGraph{"regular-300", func() *graph.Graph { return gen.RandomRegular(300, 40, 13) }},
+		)
+	}
+	return gs
+}
+
+// kernelsBenchCombos are the (k, q) cells, per graph: all with q > 2k so
+// the Corollary 5.2 peel — the code the two kernels implement differently —
+// is live, and with q strict enough that the run stays build-dominated
+// (most seeds peel to below q-k and never branch), which is both where the
+// kernel shows up end-to-end and what keeps the dense graphs tractable: a
+// loose q on GNP(300, 0.3) enumerates astronomically many plexes.
+func kernelsBenchCombos(name string) [][2]int {
+	switch name {
+	case "gnp-dense":
+		return [][2]int{{2, 6}, {3, 7}} // the golden cells: non-zero counts for the differential
+	case "gnp-300":
+		return [][2]int{{2, 12}, {3, 14}}
+	case "ba-400-hubs":
+		return [][2]int{{2, 14}, {3, 16}}
+	case "gnp-500":
+		return [][2]int{{2, 11}, {3, 13}}
+	default: // regular-300
+		return [][2]int{{2, 10}}
+	}
+}
+
+// KernelsBench measures the dense-vs-merge seed kernels and writes the
+// machine-readable snapshot to jsonPath.
+func (c *Config) KernelsBench(jsonPath string) error {
+	reps := 9
+	if c.Quick {
+		reps = 5
+	}
+
+	c.printf("Seed-kernel dense-vs-merge (min of %d reps; dense = bit-parallel peel)\n", reps)
+	c.printf("%-14s %6s %3s %3s %7s %11s %11s %8s %10s %10s %8s\n",
+		"graph", "n", "k", "q", "builds", "mergeBldMs", "denseBldMs", "bldSpd", "mergeRunMs", "denseRunMs", "runSpd")
+
+	report := KernelsBenchReport{Tool: "kplexbench -ext kernels", Reps: reps, AllCountsEqual: true}
+	for _, bg := range kernelsBenchGraphs(c.Quick) {
+		g := bg.build()
+		for _, kq := range kernelsBenchCombos(bg.name) {
+			k, q := kq[0], kq[1]
+			cell := KernelsBenchCell{Graph: bg.name, N: g.N(), K: k, Q: q}
+
+			merge := kplex.NewOptions(k, q)
+			merge.Threads = 1
+			merge.DenseCrossover = -1
+			dense := merge
+			dense.DenseCrossover = 1 << 20 // every seed through the dense peel
+
+			mergePass, builds, _, err := kplex.SeedBuildPass(g, merge, reps)
+			if err != nil {
+				return fmt.Errorf("%s k=%d q=%d: %w", bg.name, k, q, err)
+			}
+			densePass, _, denseBuilds, err := kplex.SeedBuildPass(g, dense, reps)
+			if err != nil {
+				return fmt.Errorf("%s k=%d q=%d: %w", bg.name, k, q, err)
+			}
+			cell.Builds = builds
+			cell.DenseBuilds = denseBuilds
+			cell.MergeBuildMS = float64(mergePass) / float64(time.Millisecond)
+			cell.DenseBuildMS = float64(densePass) / float64(time.Millisecond)
+			if densePass > 0 {
+				cell.BuildSpeedup = float64(mergePass) / float64(densePass)
+			}
+
+			mergeRun, mergeCount, err := kernelsTimedRun(g, merge, reps)
+			if err != nil {
+				return fmt.Errorf("%s k=%d q=%d: %w", bg.name, k, q, err)
+			}
+			denseRun, denseCount, err := kernelsTimedRun(g, dense, reps)
+			if err != nil {
+				return fmt.Errorf("%s k=%d q=%d: %w", bg.name, k, q, err)
+			}
+			cell.Count = denseCount
+			cell.CountsEqual = mergeCount == denseCount
+			if !cell.CountsEqual {
+				report.AllCountsEqual = false
+			}
+			cell.MergeRunMS = float64(mergeRun) / float64(time.Millisecond)
+			cell.DenseRunMS = float64(denseRun) / float64(time.Millisecond)
+			if denseRun > 0 {
+				cell.RunSpeedup = float64(mergeRun) / float64(denseRun)
+			}
+
+			if cell.BuildSpeedup > report.MaxBuildSpeedup {
+				report.MaxBuildSpeedup = cell.BuildSpeedup
+			}
+			if cell.RunSpeedup > report.MaxRunSpeedup {
+				report.MaxRunSpeedup = cell.RunSpeedup
+			}
+			report.Cells = append(report.Cells, cell)
+			c.printf("%-14s %6d %3d %3d %7d %11.3f %11.3f %7.2fx %10.3f %10.3f %7.2fx\n",
+				bg.name, g.N(), k, q, builds, cell.MergeBuildMS, cell.DenseBuildMS, cell.BuildSpeedup,
+				cell.MergeRunMS, cell.DenseRunMS, cell.RunSpeedup)
+			if !cell.CountsEqual {
+				c.printf("  !! COUNT MISMATCH: merge=%d dense=%d\n", mergeCount, denseCount)
+			}
+		}
+	}
+	c.printf("max build speedup %.2fx, max run speedup %.2fx, counts equal: %v\n",
+		report.MaxBuildSpeedup, report.MaxRunSpeedup, report.AllCountsEqual)
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}
+
+// kernelsTimedRun is the min-of-reps full enumeration for one option set,
+// returning the plex count for the in-bench differential check.
+func kernelsTimedRun(g *graph.Graph, opts kplex.Options, reps int) (time.Duration, int64, error) {
+	p, err := kplex.Prepare(g, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := time.Duration(1<<63 - 1)
+	var count int64
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		res, err := kplex.RunPrepared(context.Background(), p, opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+		count = res.Count
+	}
+	return best, count, nil
+}

@@ -238,6 +238,14 @@ type Config struct {
 	// jobs and interactive queries share one capacity budget). Jobs block
 	// until a slot frees rather than being rejected.
 	Admit func(ctx context.Context) (release func(), err error)
+	// ObserveCost, when non-nil, receives the (prologue features, measured
+	// enumeration runtime) pair of each completed single-traversal job that
+	// ran start to finish in one incarnation. kplexd wires it to its cost
+	// calibrator, so long background runs — precisely the queries the cost
+	// model exists to route — keep the predictor honest. Resumed and
+	// multi-group runs are excluded: their elapsed time does not belong to
+	// any single feature vector.
+	ObserveCost func(f kplex.CostFeatures, elapsed time.Duration)
 	// Logf receives operational log lines (default: discarded).
 	Logf func(format string, args ...any)
 

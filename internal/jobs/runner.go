@@ -312,6 +312,14 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 		return fmt.Errorf("internal accounting error: %d of %d seeds reported done", r.seedsDone, totalSeeds)
 	}
 
+	// Feed the host's cost calibrator one clean (features, runtime) pair.
+	// Only fresh single-traversal runs qualify: a resumed incarnation's
+	// elapsed covers part of the work, and a multi-group batch's elapsed
+	// spans several feature vectors.
+	if m.cfg.ObserveCost != nil && len(prepared) == 1 && r.baseEnumMS == 0 {
+		m.cfg.ObserveCost(prepared[0].CostFeatures(), time.Since(r.started))
+	}
+
 	elapsedMS := r.baseEnumMS + float64(time.Since(r.started))/float64(time.Millisecond)
 
 	j.mu.Lock()

@@ -37,7 +37,7 @@ func TestSeedBuildZeroAlloc(t *testing.T) {
 		// Warm-up: one full pass sizes every buffer to the run's maximum.
 		built := 0
 		for s := 0; s < relab.N(); s++ {
-			if sg := sc.build(relab, p.pg, s, &opts, st); sg != nil {
+			if sg := sc.build(relab, p.pg, s, &opts, st, nil); sg != nil {
 				built++
 			}
 		}
@@ -47,7 +47,7 @@ func TestSeedBuildZeroAlloc(t *testing.T) {
 
 		s := 0
 		allocs := testing.AllocsPerRun(200, func() {
-			sc.build(relab, p.pg, s, &opts, st)
+			sc.build(relab, p.pg, s, &opts, st, nil)
 			if s++; s == relab.N() {
 				s = 0
 			}
@@ -55,5 +55,49 @@ func TestSeedBuildZeroAlloc(t *testing.T) {
 		if allocs != 0 {
 			t.Errorf("pair=%v: steady-state seed build allocates %.1f objects/op, want 0", usePair, allocs)
 		}
+	}
+}
+
+// TestSeedBuildZeroAllocDense is the same guard with the dense bit-parallel
+// kernel forced on every build (a denser graph and an unbounded crossover),
+// pinning that the row-major arena and the rowP row table stay pooled: the
+// dense path must be exactly as allocation-free as the merge path it
+// routes around.
+func TestSeedBuildZeroAllocDense(t *testing.T) {
+	opts := NewOptions(2, 7) // q-2k = 3 > 0: the Corollary 5.2 peel is live
+	opts.DenseCrossover = 1 << 20
+
+	g := gen.GNP(300, 0.15, 7)
+	p, err := Prepare(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relab := p.pg.G()
+	sc := newSeedScratch(relab.N())
+	st := &seedStorage{}
+
+	var stats Stats
+	built := 0
+	for s := 0; s < relab.N(); s++ {
+		if sg := sc.build(relab, p.pg, s, &opts, st, &stats); sg != nil {
+			built++
+		}
+	}
+	if built == 0 {
+		t.Fatal("no seed graphs built; test graph too sparse to exercise the builder")
+	}
+	if stats.DenseBuilds == 0 {
+		t.Fatal("warm-up pass never took the dense path; the guard is not covering the kernel")
+	}
+
+	s := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		sc.build(relab, p.pg, s, &opts, st, nil)
+		if s++; s == relab.N() {
+			s = 0
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state dense seed build allocates %.1f objects/op, want 0", allocs)
 	}
 }

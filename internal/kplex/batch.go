@@ -345,6 +345,14 @@ var errBatchSaturated = errValidation("kplex: batch group saturated")
 // space once, fanning every discovered plex out to the members whose
 // threshold it meets.
 func (br *BatchRunner) runGroup(ctx context.Context, g *graph.Graph, gi int, grp *BatchGroup, queries []BatchQuery, results []BatchResult) error {
+	// Cancellation between groups must not start the next group's prologue:
+	// Prepare is a full O(n+m) pass, and RunPrepared's own pre-check only
+	// fires after it has been paid.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	var (
 		p   *Prepared
 		err error

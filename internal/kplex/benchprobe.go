@@ -8,6 +8,7 @@ package kplex
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -36,7 +37,7 @@ func SeedBuildAllocsPerOp(g *graph.Graph, opts Options) (float64, error) {
 	sc := newSeedScratch(relab.N())
 	st := &seedStorage{}
 	for s := 0; s < relab.N(); s++ {
-		sc.build(relab, p.pg, s, &opts, st)
+		sc.build(relab, p.pg, s, &opts, st, nil)
 	}
 
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
@@ -45,11 +46,55 @@ func SeedBuildAllocsPerOp(g *graph.Graph, opts Options) (float64, error) {
 	runtime.ReadMemStats(&before)
 	s := 0
 	for i := 0; i < runs; i++ {
-		sc.build(relab, p.pg, s, &opts, st)
+		sc.build(relab, p.pg, s, &opts, st, nil)
 		if s++; s == relab.N() {
 			s = 0
 		}
 	}
 	runtime.ReadMemStats(&after)
 	return float64(after.Mallocs-before.Mallocs) / runs, nil
+}
+
+// SeedBuildPass measures one full seed-build pass — every seed of the
+// prepared working graph of (g, opts), built through the same scratch and
+// recycled storage an engine worker uses — and reports the minimum
+// wall-clock duration over reps timed passes (after one untimed warm-up
+// pass that sizes the buffers), together with the number of non-nil builds
+// and how many builds took the dense bit-parallel peel. This is the probe
+// behind BENCH_kernels.json: the dense-vs-merge kernel choice only touches
+// seed construction, so comparing passes under different DenseCrossover
+// settings isolates the kernel delta from enumeration noise.
+func SeedBuildPass(g *graph.Graph, opts Options, reps int) (minPass time.Duration, builds int, denseBuilds int64, err error) {
+	p, err := Prepare(g, opts)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	relab := p.pg.G()
+	if relab.N() == 0 {
+		return 0, 0, 0, nil
+	}
+	sc := newSeedScratch(relab.N())
+	st := &seedStorage{}
+	var stats Stats
+	for s := 0; s < relab.N(); s++ {
+		if sg := sc.build(relab, p.pg, s, &opts, st, &stats); sg != nil {
+			builds++
+		}
+	}
+	denseBuilds = stats.DenseBuilds
+
+	if reps < 1 {
+		reps = 1
+	}
+	minPass = time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		for s := 0; s < relab.N(); s++ {
+			sc.build(relab, p.pg, s, &opts, st, nil)
+		}
+		if d := time.Since(t0); d < minPass {
+			minPass = d
+		}
+	}
+	return minPass, builds, denseBuilds, nil
 }

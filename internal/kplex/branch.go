@@ -103,7 +103,13 @@ func (w *worker) recurse(sg *seedGraph, P, C, X *bitset.Set, sizeP int) {
 func (w *worker) branch(sg *seedGraph, P, C, X *bitset.Set, sizeP int) {
 	opts := &w.eng.opts
 	k, q := opts.K, opts.Q
-	adj := sg.adj
+	// The heavy per-vertex operations below (refine counts, subset tests,
+	// pivot degrees) run the word-slice kernels on the flat candidate-space
+	// rows: rows[v] is pWords long, and the kernels truncate to the shorter
+	// operand, so passing a set's full backing words keeps every count a
+	// prefix count.
+	rows := sg.rows()
+	pBits, satBits, pcBits := P.Words(), w.sat.Words(), w.pc.Words()
 
 	for {
 		w.stats.Branches++
@@ -118,11 +124,10 @@ func (w *worker) branch(sg *seedGraph, P, C, X *bitset.Set, sizeP int) {
 		// multi-vertex additions of the FaPlexen branching).
 		// All P, C and P∪C bits live in the candidate-space prefix, so the
 		// heavy set operations are limited to its words.
-		pw := sg.pWords
 		w.sat.Clear()
 		validP := true
 		P.ForEach(func(u int) {
-			d := adj[u].IntersectionCountPrefix(P, pw)
+			d := bitset.AndCount(rows[u], pBits)
 			w.degP[u] = d
 			switch {
 			case d < sizeP-k:
@@ -136,16 +141,16 @@ func (w *worker) branch(sg *seedGraph, P, C, X *bitset.Set, sizeP int) {
 		}
 		minNeed := sizeP + 1 - k
 		C.ForEach(func(v int) {
-			d := adj[v].IntersectionCountPrefix(P, pw)
-			if d < minNeed || !w.sat.IsSubsetPrefix(adj[v], pw) {
+			d := bitset.AndCount(rows[v], pBits)
+			if d < minNeed || !bitset.Subset(satBits, rows[v]) {
 				C.Remove(v)
 				return
 			}
 			w.degP[v] = d
 		})
 		X.ForEach(func(v int) {
-			d := adj[v].IntersectionCountPrefix(P, pw)
-			if d < minNeed || !w.sat.IsSubsetPrefix(adj[v], pw) {
+			d := bitset.AndCount(rows[v], pBits)
+			if d < minNeed || !bitset.Subset(satBits, rows[v]) {
 				X.Remove(v)
 			}
 		})
@@ -166,7 +171,7 @@ func (w *worker) branch(sg *seedGraph, P, C, X *bitset.Set, sizeP int) {
 		sizePC := sizeP + sizeC
 		minDeg := sizePC
 		w.pc.ForEach(func(v int) {
-			d := adj[v].IntersectionCountPrefix(w.pc, pw)
+			d := bitset.AndCount(rows[v], pcBits)
 			w.degPC[v] = d
 			if d < minDeg {
 				minDeg = d
@@ -289,7 +294,7 @@ func (w *worker) maybeEmitCollapse(sg *seedGraph, X *bitset.Set, sizePC, q int) 
 		return
 	}
 	k := w.eng.opts.K
-	pw := sg.pWords
+	rows := sg.rows()
 	w.satPC.Clear()
 	w.pc.ForEach(func(u int) {
 		if w.degPC[u] == sizePC-k {
@@ -297,13 +302,13 @@ func (w *worker) maybeEmitCollapse(sg *seedGraph, X *bitset.Set, sizePC, q int) 
 		}
 	})
 	need := sizePC + 1 - k
+	pcBits, satPCBits := w.pc.Words(), w.satPC.Words()
 	extendable := false
 	X.ForEach(func(x int) {
 		if extendable {
 			return
 		}
-		ax := sg.adj[x]
-		if ax.IntersectionCountPrefix(w.pc, pw) >= need && w.satPC.IsSubsetPrefix(ax, pw) {
+		if bitset.AndCount(rows[x], pcBits) >= need && bitset.Subset(satPCBits, rows[x]) {
 			extendable = true
 		}
 	})

@@ -1,0 +1,195 @@
+package kplex
+
+// The query cost model. A serving layer in front of the engine has to make
+// three placement decisions per query — run it synchronously or as a
+// durable job, with how many threads, under which scheduler/τ_time — and
+// all three hinge on the same unknown: how long the enumeration will take.
+// The prologue already computes everything a useful predictor needs (the
+// reduced working graph, its degeneracy orientation), so CostFeatures
+// summarises it in O(n) once per Prepared handle, and CostModel maps the
+// summary to a predicted duration with a log-linear fit over the corpus
+// measurements (see FitCostModel and DefaultCostModel). Predictions are
+// order-of-magnitude estimates — exact enumeration cost is itself
+// #P-hard — which is exactly enough to separate "answer inline" from
+// "queue a job", and to pick a scheduler. kplexd additionally calibrates
+// the model online against observed runtimes (see internal/server).
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// CostFeatures is the prologue summary the cost model predicts from: the
+// reduced working graph's size, the (k, q) cell, and the later-degree
+// distribution of the degeneracy orientation (later degree bounds every
+// seed subgraph's candidate pool, so its mass and tail govern both the
+// number of non-trivial seed groups and the width of each branch tree).
+type CostFeatures struct {
+	N int // working-graph vertices after reduction
+	M int // working-graph edges after reduction
+	K int
+	Q int
+
+	ActiveSeeds int     // vertices with later degree >= q-k (groups that survive the first prune)
+	AvgLaterDeg float64 // mean later degree over active seeds
+	MaxLaterDeg int     // degeneracy of the working graph
+}
+
+// CostFeatures returns the handle's prologue summary, computed on first
+// use and memoized (the handle is immutable, so the summary is too).
+func (p *Prepared) CostFeatures() CostFeatures {
+	p.costOnce.Do(func() {
+		f := CostFeatures{N: p.pg.N(), M: p.pg.G().M(), K: p.k, Q: p.q}
+		need := p.q - p.k
+		sum := 0
+		for v := 0; v < f.N; v++ {
+			ld := len(p.pg.LaterNeighbors(v))
+			if ld > f.MaxLaterDeg {
+				f.MaxLaterDeg = ld
+			}
+			if ld >= need {
+				f.ActiveSeeds++
+				sum += ld
+			}
+		}
+		if f.ActiveSeeds > 0 {
+			f.AvgLaterDeg = float64(sum) / float64(f.ActiveSeeds)
+		}
+		p.costF = f
+	})
+	return p.costF
+}
+
+// costFeatureDim is the length of the regression vector.
+const costFeatureDim = 6
+
+// vector maps the features to the regression basis. N and M are deliberately
+// absent: M = N·avgdeg/2 makes (log N, log M, log density) linearly
+// dependent, which made fits of the raw-size basis unstable; the seed
+// decomposition view is both better conditioned and closer to the actual
+// cost structure — cost ≈ Σ_seeds branch(G_i), with |G_i| governed by the
+// later-degree distribution. Counts enter as logs (cost is polynomial in
+// them), k linearly (cost is exponential in k — Theorem 4.2's γ_k^D term),
+// and q through the headroom 2k-q (each unit of slack beyond the Corollary
+// 5.2 threshold loosens every prune).
+func (f CostFeatures) vector() [costFeatureDim]float64 {
+	return [costFeatureDim]float64{
+		1,
+		math.Log1p(float64(f.ActiveSeeds)),
+		math.Log1p(f.AvgLaterDeg),
+		math.Log1p(float64(f.MaxLaterDeg)),
+		float64(f.K),
+		float64(2*f.K - f.Q), // headroom: more positive = looser pruning
+	}
+}
+
+// CostModel is a log-linear predictor: log(seconds) = coef · vector(f).
+// The zero value predicts nothing useful; use DefaultCostModel or fit one
+// with FitCostModel.
+type CostModel struct {
+	Coef [costFeatureDim]float64
+}
+
+// Predict returns the model's runtime estimate for a run over a graph with
+// features f. The estimate is clamped to [1µs, 24h]: the model is a router,
+// and nothing outside that range changes a routing decision.
+func (m *CostModel) Predict(f CostFeatures) time.Duration {
+	x := f.vector()
+	logSec := 0.0
+	for i, c := range m.Coef {
+		logSec += c * x[i]
+	}
+	sec := math.Exp(logSec)
+	switch {
+	case sec < 1e-6:
+		sec = 1e-6
+	case sec > 86400:
+		sec = 86400
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// CostSample is one observed (features, runtime) pair for fitting.
+type CostSample struct {
+	F       CostFeatures
+	Elapsed time.Duration
+}
+
+// FitCostModel fits a CostModel to samples by least squares on
+// log(seconds), solving the normal equations with a small ridge term for
+// stability (the log-count features still co-vary on most graph families).
+// It needs at least costFeatureDim samples.
+func FitCostModel(samples []CostSample) (CostModel, error) {
+	if len(samples) < costFeatureDim {
+		return CostModel{}, fmt.Errorf("kplex: FitCostModel needs >= %d samples, got %d", costFeatureDim, len(samples))
+	}
+	const lambda = 1e-6
+	var ata [costFeatureDim][costFeatureDim]float64
+	var atb [costFeatureDim]float64
+	for _, s := range samples {
+		sec := s.Elapsed.Seconds()
+		if sec <= 0 {
+			sec = 1e-9
+		}
+		y := math.Log(sec)
+		x := s.F.vector()
+		for i := 0; i < costFeatureDim; i++ {
+			for j := 0; j < costFeatureDim; j++ {
+				ata[i][j] += x[i] * x[j]
+			}
+			atb[i] += x[i] * y
+		}
+	}
+	for i := 0; i < costFeatureDim; i++ {
+		ata[i][i] += lambda
+	}
+
+	// Gaussian elimination with partial pivoting on the small dense system.
+	for col := 0; col < costFeatureDim; col++ {
+		piv := col
+		for r := col + 1; r < costFeatureDim; r++ {
+			if math.Abs(ata[r][col]) > math.Abs(ata[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(ata[piv][col]) < 1e-12 {
+			return CostModel{}, fmt.Errorf("kplex: FitCostModel: singular normal equations (degenerate sample set)")
+		}
+		ata[col], ata[piv] = ata[piv], ata[col]
+		atb[col], atb[piv] = atb[piv], atb[col]
+		for r := col + 1; r < costFeatureDim; r++ {
+			fac := ata[r][col] / ata[col][col]
+			for c := col; c < costFeatureDim; c++ {
+				ata[r][c] -= fac * ata[col][c]
+			}
+			atb[r] -= fac * atb[col]
+		}
+	}
+	var m CostModel
+	for i := costFeatureDim - 1; i >= 0; i-- {
+		v := atb[i]
+		for j := i + 1; j < costFeatureDim; j++ {
+			v -= ata[i][j] * m.Coef[j]
+		}
+		m.Coef[i] = v / ata[i][i]
+	}
+	return m, nil
+}
+
+// DefaultCostModel is the built-in predictor, fitted offline with
+// FitCostModel over sequential corpus runs (every corpus graph × a (k, q)
+// sweep; see TestDefaultCostModelSane for the pinned quality bar). The
+// absolute scale is machine-dependent — kplexd's online calibration
+// absorbs that — but the feature weights transfer: they encode how cost
+// scales with size, k and q-headroom, which is hardware-independent.
+var DefaultCostModel = CostModel{
+	Coef: [costFeatureDim]float64{
+		-12.8925, // intercept
+		0.4508,   // log1p(active seeds)
+		1.6225,   // log1p(avg later degree)
+		0.3972,   // log1p(max later degree)
+		0.3057,   // K
+		0.6638,   // 2K-Q headroom
+	},
+}

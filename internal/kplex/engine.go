@@ -99,7 +99,7 @@ func (e *engine) processSeed(w *worker, s int, emit func(*task)) {
 		w.sc = newSeedScratch(e.g.N())
 	}
 	st := e.getStorage()
-	sg := w.sc.build(e.g, e.prep, s, &e.opts, st)
+	sg := w.sc.build(e.g, e.prep, s, &e.opts, st, &w.stats)
 	if sg == nil {
 		// Pruned before any task existed: the group is trivially complete
 		// and its untouched storage goes straight back to the pool.

@@ -119,7 +119,7 @@ func FindMaximumKPlexBnB(ctx context.Context, g *graph.Graph, k int) ([]int, err
 			return ms.best, ctx.Err()
 		}
 		opts := NewOptions(k, ms.targetQ())
-		sg := sc.build(relab, prep, s, &opts, st)
+		sg := sc.build(relab, prep, s, &opts, st, nil)
 		if sg == nil {
 			continue
 		}

@@ -184,6 +184,18 @@ type Options struct {
 	// (4096); it has no effect under the other schedulers.
 	StealQueueBound int
 
+	// DenseCrossover is the N¹-size ceiling under which seed-graph
+	// construction takes the dense bit-parallel path: the Corollary 5.2
+	// peel runs over a row-major adjacency matrix with word-parallel
+	// AND/popcount kernels instead of per-vertex sorted merges. Above the
+	// ceiling the merge-based path is used (the matrix is Θ(|N¹|²) bits, so
+	// huge hub seeds would pay more to build it than it saves). Zero means
+	// the built-in default (see DefaultDenseCrossover); negative disables
+	// the dense path entirely. Execution-only: both paths reach the same
+	// fixed point, so this knob never changes the result set and does not
+	// participate in ResultKey.
+	DenseCrossover int
+
 	// StreamBuffer is the result-channel capacity of the streaming path
 	// (RunStream / EnumerateStream): once this many plexes are queued and
 	// unread, enumeration workers block until the consumer catches up.
@@ -244,6 +256,25 @@ type Options struct {
 	// fail the run. A non-empty skip set changes the reported result set,
 	// and ResultKey reflects that.
 	SkipSeeds *SeedSet
+}
+
+// DefaultDenseCrossover is the N¹-size ceiling for the dense bit-parallel
+// seed build when Options.DenseCrossover is zero. Chosen from the
+// BENCH_kernels grid: below it the Θ(|N¹|²/64)-word matrix peel beats the
+// merge path comfortably; above it matrix construction starts to dominate
+// on sparse hubs.
+const DefaultDenseCrossover = 256
+
+// denseCrossover resolves the knob: the effective ceiling, with 0 meaning
+// disabled (so `len(n1) <= o.denseCrossover()` reads naturally).
+func (o *Options) denseCrossover() int {
+	switch {
+	case o.DenseCrossover < 0:
+		return 0
+	case o.DenseCrossover == 0:
+		return DefaultDenseCrossover
+	}
+	return o.DenseCrossover
 }
 
 // NewOptions returns the paper's default configuration ("Ours"): full upper
@@ -371,6 +402,7 @@ type Stats struct {
 	StealMisses   int64 // steal rounds that found every deque empty while tasks were in flight (SchedulerSteal)
 	Emitted       int64 // maximal k-plexes reported
 	MaxPlexSize   int64 // largest reported k-plex (0 when none)
+	DenseBuilds   int64 // seed groups whose peel took the dense bit-matrix path
 }
 
 // Add accumulates other into s.
@@ -386,6 +418,7 @@ func (s *Stats) Add(other Stats) {
 	s.Steals += other.Steals
 	s.StealMisses += other.StealMisses
 	s.Emitted += other.Emitted
+	s.DenseBuilds += other.DenseBuilds
 	if other.MaxPlexSize > s.MaxPlexSize {
 		s.MaxPlexSize = other.MaxPlexSize
 	}

@@ -15,6 +15,7 @@ package kplex
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -29,6 +30,10 @@ type Prepared struct {
 	q       int
 	useCTCP bool
 	pg      *graph.Prepared
+
+	// Cost-model summary, computed lazily (see CostFeatures).
+	costOnce sync.Once
+	costF    CostFeatures
 }
 
 // Prepare computes the run prologue for g under opts. Only the

@@ -36,7 +36,12 @@ type seedGraph struct {
 	nAll   int     // nv + |V'|
 	orig   []int32 // local id -> global id, len nAll
 	adj    []*bitset.Set
-	degGi  []int // degree within candidate space (d_{G_i}), len nv
+	// rowP[i] is adj[i]'s candidate-space word prefix as a raw slice into
+	// the arena's contiguous store: the branch hot loops (refine counts,
+	// pivot selection, the collapse subset test) run the bit-parallel
+	// kernels on these flat rows instead of chasing the Set headers.
+	rowP  [][]uint64
+	degGi []int // degree within candidate space (d_{G_i}), len nv
 
 	nbrSeed *bitset.Set // N¹ as a bitset (the initial C_S)
 	hop2    []int       // local ids of N² vertices, ascending
@@ -67,6 +72,7 @@ type seedStorage struct {
 	arena bitset.Arena
 	orig  []int32
 	adj   []*bitset.Set
+	rowP  [][]uint64
 	degGi []int
 	hop2  []int
 	pair  []*bitset.Set
@@ -109,6 +115,14 @@ type seedScratch struct {
 	cnt     []int32  // common-neighbour counters
 	seedEp  []uint32 // seed-adjacency membership
 
+	// Dense-peel scratch. denseEp/denseID are a dedicated global→matrix-row
+	// mapping: they cannot share localEp/localID because peeled-out vertices
+	// would keep a live stamp into the same epoch that later validates
+	// membership during adjacency construction.
+	denseEp    []uint32
+	denseID    []int32
+	denseArena bitset.Arena
+
 	n1      []int32 // surviving later neighbours
 	queue   []int32 // Corollary 5.2 dirty worklist
 	touched []int32 // 2-hop candidates with a stamped counter
@@ -136,6 +150,8 @@ func (sc *seedScratch) ensure(n int) {
 	sc.cntEp = make([]uint32, n)
 	sc.cnt = make([]int32, n)
 	sc.seedEp = make([]uint32, n)
+	sc.denseEp = make([]uint32, n)
+	sc.denseID = make([]int32, n)
 }
 
 // bumpEpoch starts a new build generation. On the (astronomically rare)
@@ -148,6 +164,7 @@ func (sc *seedScratch) bumpEpoch() {
 		clear(sc.localEp)
 		clear(sc.cntEp)
 		clear(sc.seedEp)
+		clear(sc.denseEp)
 		sc.epoch = 1
 	}
 }
@@ -175,12 +192,19 @@ func growSets(s []*bitset.Set, n int) []*bitset.Set {
 	return s[:n]
 }
 
+func growRows(s [][]uint64, n int) [][]uint64 {
+	if cap(s) < n {
+		return make([][]uint64, n)
+	}
+	return s[:n]
+}
+
 // buildSeedGraph constructs G_i for seed s over the degeneracy-relabelled
 // graph g ("later" is the numeric comparison u > s), with fresh scratch and
 // storage per call. Tests and the one-shot paths use it; the engine goes
 // through seedScratch.build with pooled storage instead.
 func buildSeedGraph(g *graph.Graph, s int, opts *Options) *seedGraph {
-	return newSeedScratch(g.N()).build(g, nil, s, opts, &seedStorage{})
+	return newSeedScratch(g.N()).build(g, nil, s, opts, &seedStorage{}, nil)
 }
 
 // build constructs G_i for seed s into st's recycled storage. prep, when
@@ -189,8 +213,9 @@ func buildSeedGraph(g *graph.Graph, s int, opts *Options) *seedGraph {
 // Returns nil when the pruned candidate space is too small to hold any
 // q-vertex k-plex (st is then untouched and immediately reusable). The
 // returned seedGraph aliases st and carries one reference (the caller's
-// generation unit).
-func (sc *seedScratch) build(g *graph.Graph, prep *graph.Prepared, s int, opts *Options, st *seedStorage) *seedGraph {
+// generation unit). stats, when non-nil, accrues build-path counters
+// (currently Stats.DenseBuilds).
+func (sc *seedScratch) build(g *graph.Graph, prep *graph.Prepared, s int, opts *Options, st *seedStorage, stats *Stats) *seedGraph {
 	k, q := opts.K, opts.Q
 	sc.ensure(g.N())
 	sc.bumpEpoch()
@@ -223,43 +248,58 @@ func (sc *seedScratch) build(g *graph.Graph, prep *graph.Prepared, s int, opts *
 	}
 
 	// Corollary 5.2 on N¹, peeled to a fixed point: u ∈ N¹ needs at least
-	// q-2k common neighbours with v_i inside the surviving N¹. Counts are
-	// seeded by one sorted-adjacency merge per vertex and then maintained
-	// incrementally: removing u decrements its surviving neighbours, and
-	// only the ones that just crossed the threshold join the dirty
-	// worklist — converged vertices are never rescanned.
+	// q-2k common neighbours with v_i inside the surviving N¹. Two
+	// interchangeable kernels reach the same fixed point (core-style peels
+	// are confluent: the survivor set is the unique maximal subset in which
+	// every vertex meets the threshold, independent of removal order):
+	//
+	//   - dense (|N¹| ≤ DenseCrossover): materialise the induced adjacency
+	//     of N¹ as a row-major bit matrix and peel with word-parallel
+	//     AND/popcount sweeps (see densePeel);
+	//   - merge: counts seeded by one sorted-adjacency merge per vertex and
+	//     maintained incrementally — removing u decrements its surviving
+	//     neighbours, and only the ones that just crossed the threshold
+	//     join the dirty worklist, so converged vertices are never
+	//     rescanned.
 	if thrN1 := q - 2*k; thrN1 > 0 {
-		queue := sc.queue[:0]
-		for _, u := range n1 {
-			c := graph.CountCommon(g.Neighbors(int(u)), n1)
-			sc.cnt[u] = int32(c)
-			if c < thrN1 {
-				queue = append(queue, u)
+		if len(n1) <= opts.denseCrossover() {
+			n1 = sc.densePeel(g, n1, thrN1, ep)
+			if stats != nil {
+				stats.DenseBuilds++
 			}
-		}
-		for head := 0; head < len(queue); head++ {
-			u := queue[head]
-			if sc.mark[u] != ep {
-				continue
+		} else {
+			queue := sc.queue[:0]
+			for _, u := range n1 {
+				c := graph.CountCommon(g.Neighbors(int(u)), n1)
+				sc.cnt[u] = int32(c)
+				if c < thrN1 {
+					queue = append(queue, u)
+				}
 			}
-			sc.mark[u] = 0
-			for _, w := range g.Neighbors(int(u)) {
-				if sc.mark[w] != ep {
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				if sc.mark[u] != ep {
 					continue
 				}
-				if sc.cnt[w]--; sc.cnt[w] == int32(thrN1)-1 {
-					queue = append(queue, w)
+				sc.mark[u] = 0
+				for _, w := range g.Neighbors(int(u)) {
+					if sc.mark[w] != ep {
+						continue
+					}
+					if sc.cnt[w]--; sc.cnt[w] == int32(thrN1)-1 {
+						queue = append(queue, w)
+					}
 				}
 			}
-		}
-		sc.queue = queue
-		kept := n1[:0]
-		for _, u := range n1 {
-			if sc.mark[u] == ep {
-				kept = append(kept, u)
+			sc.queue = queue
+			kept := n1[:0]
+			for _, u := range n1 {
+				if sc.mark[u] == ep {
+					kept = append(kept, u)
+				}
 			}
+			n1 = kept
 		}
-		n1 = kept
 		sc.n1 = n1
 		if len(n1) < q-k {
 			return nil
@@ -395,6 +435,16 @@ func (sc *seedScratch) build(g *graph.Graph, prep *graph.Prepared, s int, opts *
 			}
 		}
 	}
+	// Flat candidate-space prefixes of the adjacency rows, carved straight
+	// out of the arena's contiguous store (adj rows are the first nAll
+	// carved, so row i starts at word i*wpr). Branch's hot loops run the
+	// bit-parallel kernels on these instead of the Set headers.
+	st.rowP = growRows(st.rowP, nAll)
+	sg.rowP = st.rowP
+	words, wpr := st.arena.Rows(), st.arena.WordsPerRow()
+	for i := 0; i < nAll; i++ {
+		sg.rowP[i] = words[i*wpr : i*wpr+sg.pWords]
+	}
 	// The candidate space is the local-id prefix [0, nv), so d_{G_i} is a
 	// prefix popcount — no mask bitset.
 	for i := 0; i < nv; i++ {
@@ -418,6 +468,67 @@ func (sc *seedScratch) build(g *graph.Graph, prep *graph.Prepared, s int, opts *
 		sg.buildPairMatrix(sc, k, q)
 	}
 	return sg
+}
+
+// rows returns the flat candidate-space prefix rows, deriving them from
+// the Set headers on first use for test-built seed graphs that bypass the
+// engine's arena path (build populates rowP directly).
+func (sg *seedGraph) rows() [][]uint64 {
+	if sg.rowP == nil {
+		sg.rowP = make([][]uint64, sg.nAll)
+		for i, s := range sg.adj {
+			sg.rowP[i] = s.Words()[:sg.pWords]
+		}
+	}
+	return sg.rowP
+}
+
+// densePeel is the bit-parallel kernel of the Corollary 5.2 fixed point,
+// taken when N¹ fits under Options.DenseCrossover: the induced adjacency of
+// the later neighbours is materialised as a row-major bit matrix in the
+// worker scratch and peeled with word-parallel AND/popcount sweeps
+// (bitset.Peel). Removed vertices get their mark stamp cleared exactly as
+// the merge path does — the 2-hop sweep keys on it — and the survivor
+// slice reuses n1's backing, so the two kernels are interchangeable
+// downstream.
+func (sc *seedScratch) densePeel(g *graph.Graph, n1 []int32, thr int, ep uint32) []int32 {
+	n := len(n1)
+	if n == 0 {
+		return n1
+	}
+	sc.denseArena.Reset(n, n+1) // n adjacency rows + the alive row
+	stride := sc.denseArena.WordsPerRow()
+	words := sc.denseArena.Rows()[: (n+1)*stride : (n+1)*stride]
+	for i, u := range n1 {
+		sc.denseEp[u] = ep
+		sc.denseID[u] = int32(i)
+	}
+	for i, u := range n1 {
+		row := words[i*stride : (i+1)*stride]
+		for _, w := range g.Neighbors(int(u)) {
+			if sc.denseEp[w] == ep {
+				j := sc.denseID[w]
+				row[j>>6] |= 1 << uint(j&63)
+			}
+		}
+	}
+	alive := words[n*stride:]
+	for i := range alive {
+		alive[i] = ^uint64(0)
+	}
+	if tail := n & 63; tail != 0 {
+		alive[stride-1] = 1<<uint(tail) - 1
+	}
+	bitset.Peel(words[:n*stride], stride, n, alive, thr)
+	kept := n1[:0]
+	for i, u := range n1 {
+		if alive[i>>6]&(1<<uint(i&63)) != 0 {
+			kept = append(kept, u)
+		} else {
+			sc.mark[u] = 0
+		}
+	}
+	return kept
 }
 
 // buildPairMatrix fills sg.pair with the compatibility rows of Theorems

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// noFlushWriter hides the underlying ResponseWriter's http.Flusher, the
+// way logging/compression middleware that wraps the writer without
+// forwarding optional interfaces does.
+type noFlushWriter struct{ http.ResponseWriter }
+
+// TestStreamWithoutFlusher: NDJSON endpoints behind a non-Flusher writer
+// must still deliver a complete, correct response — fully buffered — and
+// declare the buffering in a header instead of failing.
+func TestStreamWithoutFlusher(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	inner := s.Handler()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner.ServeHTTP(noFlushWriter{w}, r)
+	}))
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/stream?graph=corpus:planted-a&k=2&q=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream without Flusher = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Kplexd-Buffered") != "1" {
+		t.Fatal("buffered stream missing X-Kplexd-Buffered: 1")
+	}
+
+	var plexes int64
+	var sum streamSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			plexes++
+			continue
+		}
+		if err := json.Unmarshal([]byte(line), &sum); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+	}
+	if !sum.Done || sum.Truncated {
+		t.Fatalf("summary %+v, want done and not truncated", sum)
+	}
+	if sum.Count != plexes || plexes == 0 {
+		t.Fatalf("summary count %d, saw %d plex lines", sum.Count, plexes)
+	}
+
+	// The Flusher-capable path must not carry the warning header.
+	direct := httptest.NewServer(inner)
+	defer direct.Close()
+	resp2, err := http.Get(direct.URL + "/stream?graph=corpus:planted-a&k=2&q=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Kplexd-Buffered") != "" {
+		t.Fatal("Flusher-capable stream unexpectedly marked buffered")
+	}
+}

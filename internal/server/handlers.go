@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/kplex"
 )
 
@@ -25,8 +26,17 @@ type queryRequest struct {
 	TopN int `json:"topn,omitempty"`
 	// Threads overrides the engine parallelism (default Config.DefaultThreads).
 	Threads int `json:"threads,omitempty"`
-	// Scheduler is "stages", "global-queue" or "steal" (default stages).
+	// Scheduler is "stages", "global-queue", "steal" or "auto" (default
+	// stages). "auto" lets the server pick threads, scheduler and τ_time
+	// from the query's predicted cost; execution knobs only, the result set
+	// and cache identity are unchanged.
 	Scheduler string `json:"scheduler,omitempty"`
+	// Route is "sync" (default) or "auto": with "auto", a query whose
+	// predicted runtime exceeds the server's async threshold is converted
+	// into a durable background job and answered 202 with the job manifest
+	// (requires the job subsystem; without it every query runs sync).
+	// Stream mode is incompatible with route=auto.
+	Route string `json:"route,omitempty"`
 }
 
 // queryResponse is the body of a completed cacheable query.
@@ -77,6 +87,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.Encode(v) //nolint:errcheck // client disconnects are not server errors
+}
+
+// ndjsonFlusher resolves w's http.Flusher before the response header is
+// written. NDJSON endpoints deliver lines incrementally when they can,
+// but a ResponseWriter wrapped by middleware that hides Flusher must not
+// break them: the response is then fully buffered — correct, just not
+// incremental — and the header tells the client not to wait on
+// line-by-line delivery.
+func ndjsonFlusher(w http.ResponseWriter) http.Flusher {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		w.Header().Set("X-Kplexd-Buffered", "1")
+	}
+	return f
 }
 
 // fail writes a JSON error and scores the right counter.
@@ -171,8 +195,21 @@ func (s *Server) parseOptions(req *queryRequest) (kplex.Options, error) {
 		opts.Scheduler = kplex.SchedulerGlobalQueue
 	case "steal":
 		opts.Scheduler = kplex.SchedulerSteal
+	case "auto":
+		// Provisional: finalized against the predicted cost once the
+		// prepared prologue (and with it the cost features) is resident.
+		opts.Scheduler = kplex.SchedulerStages
 	default:
 		return kplex.Options{}, fmt.Errorf("unknown scheduler %q", req.Scheduler)
+	}
+	switch req.Route {
+	case "", "sync":
+	case "auto":
+		if req.Mode == "stream" {
+			return kplex.Options{}, fmt.Errorf("route=auto applies to cacheable modes only, not stream")
+		}
+	default:
+		return kplex.Options{}, fmt.Errorf("route must be sync or auto, got %q", req.Route)
 	}
 	if opts.Threads > 1 {
 		// Straggler splitting: a service must not let one deep subtree pin
@@ -228,6 +265,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.CacheMisses.Add(1)
 
+	if req.Route == "auto" && s.jobs != nil {
+		if man, pred, routed := s.maybeRouteAsync(entry, &req, opts); routed {
+			s.met.RoutedAsync.Add(1)
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"job":         man,
+				"predictedMs": float64(pred) / float64(time.Millisecond),
+			})
+			return
+		}
+	}
+
 	val, fromCache, shared, err := s.flight.do(key, func() (*queryResult, bool, error) {
 		// A just-finished flight may have filled the cache between our miss
 		// and this call; re-check before paying for an enumeration.
@@ -282,6 +330,10 @@ func (s *Server) execute(entry *GraphEntry, req *queryRequest, opts kplex.Option
 	if err != nil {
 		return nil, err
 	}
+	if req.Scheduler == "auto" {
+		tuneFor(s.router.predict(p.CostFeatures()), req.Threads, s.cfg.DefaultThreads, &opts)
+		s.met.AutoTuned.Add(1)
+	}
 	val := &queryResult{Mode: req.Mode, Digest: entry.Digest, ComputedAt: time.Now()}
 	var res kplex.Result
 	switch req.Mode {
@@ -302,7 +354,39 @@ func (s *Server) execute(entry *GraphEntry, req *queryRequest, opts kplex.Option
 	val.MaxSize = int(res.Stats.MaxPlexSize)
 	val.Elapsed = res.Elapsed
 	val.Stats = res.Stats
+	s.observeCost(p.CostFeatures(), res.Elapsed)
 	return val, nil
+}
+
+// maybeRouteAsync converts a route=auto query into a background job when
+// its calibrated predicted runtime exceeds the async threshold. A false
+// return (prediction under threshold, prologue failure, submit failure)
+// falls through to the synchronous path, which will surface any real error
+// with proper status mapping.
+func (s *Server) maybeRouteAsync(entry *GraphEntry, req *queryRequest, opts kplex.Options) (*jobs.Manifest, time.Duration, bool) {
+	p, err := s.prepared(entry.G, entry.Digest, &opts)
+	if err != nil {
+		return nil, 0, false
+	}
+	pred := s.router.predict(p.CostFeatures())
+	if pred <= s.cfg.RouteAsyncThreshold {
+		return nil, pred, false
+	}
+	spec := jobs.Spec{Graph: req.Graph, K: req.K, Q: req.Q, Threads: req.Threads}
+	if req.Mode == "topk" {
+		spec.TopN = req.TopN
+	}
+	if req.Scheduler == "auto" {
+		// Predicted past the async threshold: that is tuneFor's top tier.
+		spec.Scheduler = "steal"
+	} else {
+		spec.Scheduler = req.Scheduler
+	}
+	man, err := s.jobs.Submit(spec)
+	if err != nil {
+		return nil, 0, false
+	}
+	return man, pred, true
 }
 
 func (s *Server) respond(w http.ResponseWriter, req *queryRequest, entry *GraphEntry, val *queryResult, cached, shared bool) {
@@ -384,6 +468,10 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req *queryR
 		s.fail(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if req.Scheduler == "auto" {
+		tuneFor(s.router.predict(p.CostFeatures()), req.Threads, s.cfg.DefaultThreads, &opts)
+		s.met.AutoTuned.Add(1)
+	}
 	h, err := kplex.RunStreamPrepared(ctx, p, opts)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err.Error())
@@ -392,8 +480,8 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req *queryR
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Graph-Digest", entry.Digest)
+	flusher := ndjsonFlusher(w)
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	lines := 0
 	lastFlush := time.Now()
@@ -412,6 +500,8 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req *queryR
 	res, runErr := h.Wait()
 	if runErr != nil {
 		s.met.StreamsCancelled.Add(1)
+	} else {
+		s.observeCost(p.CostFeatures(), res.Elapsed)
 	}
 	enc.Encode(streamSummary{ //nolint:errcheck // best effort on a dying conn
 		Done:      runErr == nil,

@@ -199,8 +199,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Graph-Digest", entry.Digest)
+	flusher := ndjsonFlusher(w)
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	flush := func() {
 		if flusher != nil {

@@ -140,8 +140,8 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	defer stop()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher := ndjsonFlusher(w)
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	for {
 		select {

@@ -27,6 +27,9 @@ type metrics struct {
 	StreamsCancelled atomic.Int64 // streams ended by client disconnect / ctx
 	PreparedHits     atomic.Int64 // runs served a resident prepared-graph handle
 	PreparedMisses   atomic.Int64 // runs that had to compute the prologue
+	AutoTuned        atomic.Int64 // scheduler=auto queries tuned from the cost model
+	RoutedAsync      atomic.Int64 // route=auto queries converted into background jobs
+	CostObservations atomic.Int64 // measured runtimes fed to the cost calibrator
 }
 
 // snapshot returns the counters as a plain map for JSON encoding.
@@ -47,6 +50,9 @@ func (m *metrics) snapshot() map[string]int64 {
 		"streams_cancelled": m.StreamsCancelled.Load(),
 		"prepared_hits":     m.PreparedHits.Load(),
 		"prepared_misses":   m.PreparedMisses.Load(),
+		"auto_tuned":        m.AutoTuned.Load(),
+		"routed_async":      m.RoutedAsync.Load(),
+		"cost_observations": m.CostObservations.Load(),
 	}
 }
 

@@ -86,6 +86,14 @@ type Config struct {
 	// JobMinCheckpointGap rate-limits checkpoint fsyncs (default 250ms,
 	// negative disables; see jobs.Config.MinCheckpointGap).
 	JobMinCheckpointGap time.Duration
+
+	// RouteAsyncThreshold is the predicted-runtime cutoff of route=auto
+	// queries (default 30s): above it — and only when the job subsystem is
+	// enabled — the query is answered 202 with a durable job manifest
+	// instead of synchronously. The prediction comes from the engine's cost
+	// model, calibrated online against this server's observed runtimes (see
+	// routing.go).
+	RouteAsyncThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +133,9 @@ func (c Config) withDefaults() Config {
 	if c.StreamBuffer <= 0 {
 		c.StreamBuffer = kplex.DefaultStreamBuffer
 	}
+	if c.RouteAsyncThreshold <= 0 {
+		c.RouteAsyncThreshold = 30 * time.Second
+	}
 	return c
 }
 
@@ -139,6 +150,7 @@ type Server struct {
 	sem     chan struct{}
 	met     metrics
 	mux     *http.ServeMux
+	router  *costRouter
 	jobs    *jobs.Manager // nil when Config.JobsDir is empty
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -150,12 +162,13 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   NewRegistry(cfg.MaxResidentGraphs, NewLoader(cfg.DataDir)),
-		cache: newResultCache(cfg.CacheEntries),
-		prep:  newPreparedCache(cfg.PreparedEntries),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		mux:   http.NewServeMux(),
+		cfg:    cfg,
+		reg:    NewRegistry(cfg.MaxResidentGraphs, NewLoader(cfg.DataDir)),
+		cache:  newResultCache(cfg.CacheEntries),
+		prep:   newPreparedCache(cfg.PreparedEntries),
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		mux:    http.NewServeMux(),
+		router: newCostRouter(),
 	}
 	s.reg.setHooks(
 		func() { s.met.GraphLoads.Add(1) },
@@ -173,6 +186,7 @@ func New(cfg Config) (*Server, error) {
 			MinCheckpointGap:   cfg.JobMinCheckpointGap,
 			DefaultThreads:     cfg.DefaultThreads,
 			Admit:              s.admitJob,
+			ObserveCost:        s.observeCost,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("opening job subsystem: %w", err)

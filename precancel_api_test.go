@@ -1,0 +1,56 @@
+package kplex_test
+
+// Dead-on-arrival context contract for the public batch entry points: a
+// context cancelled before the call must return immediately with
+// context.Canceled, no results, and no callback deliveries (the internal
+// engine pre-checks are pinned in internal/kplex/precancel_test.go; these
+// tests pin that the public wrappers do not re-introduce work before them).
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	kplex "repro"
+)
+
+func deadCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestEnumerateBatchPreCancelled(t *testing.T) {
+	g := kplex.GNP(150, 0.15, 7)
+	var fired atomic.Int64
+	opts := []kplex.Options{kplex.NewOptions(2, 6), kplex.NewOptions(2, 8)}
+	for i := range opts {
+		opts[i].OnPlex = func([]int) { fired.Add(1) }
+	}
+	res, err := kplex.EnumerateBatch(deadCtx(), g, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("pre-cancelled EnumerateBatch returned %d results", len(res))
+	}
+	if fired.Load() != 0 {
+		t.Errorf("OnPlex fired %d times on a dead context", fired.Load())
+	}
+}
+
+func TestEnumerateBatchQueriesPreCancelled(t *testing.T) {
+	g := kplex.GNP(150, 0.15, 7)
+	queries := []kplex.BatchQuery{
+		{Opts: kplex.NewOptions(2, 6), Mode: kplex.BatchTopK, TopN: 3},
+		{Opts: kplex.NewOptions(2, 8), Mode: kplex.BatchHistogram},
+	}
+	res, err := kplex.EnumerateBatchQueries(deadCtx(), g, queries)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("pre-cancelled EnumerateBatchQueries returned %d results", len(res))
+	}
+}
