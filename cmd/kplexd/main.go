@@ -21,6 +21,9 @@
 //	GET  /jobs/{id}/result   completed job's result
 //	POST /jobs/{id}/cancel   cancel an active job
 //	DELETE /jobs/{id}        cancel (active) or delete (terminal)
+//	POST /cluster/run        execute one leased seed range (every kplexd is a worker)
+//	POST /cluster/workers    register a worker (coordinator only; see -coordinator)
+//	POST /cluster/jobs       submit a distributed enumeration (coordinator only)
 //
 // Graph names are file paths under -data (any supported format,
 // auto-detected) or builtin corpus graphs ("corpus:planted-a", ...).
@@ -30,6 +33,15 @@
 //	kplexd -addr :8080 -data ./graphs -jobs ./jobs &
 //	curl -s localhost:8080/query -d '{"graph":"corpus:planted-a","k":2,"q":6,"mode":"count"}'
 //	curl -s localhost:8080/jobs -d '{"graph":"corpus:planted-a","k":2,"q":6}'
+//
+// Distributed enumeration: start worker kplexds normally, then one
+// coordinator naming them (a coordinator may list itself and double as a
+// worker):
+//
+//	kplexd -addr :8081 &
+//	kplexd -addr :8080 -coordinator -cluster-dir ./cluster \
+//	       -workers http://localhost:8080,http://localhost:8081 &
+//	curl -s localhost:8080/cluster/jobs -d '{"graph":"corpus:planted-a","k":2,"q":6}'
 package main
 
 import (
@@ -73,8 +85,23 @@ func run() error {
 		maxK         = flag.Int("max-k", 8, "largest accepted k")
 		routeAsync   = flag.Duration("route-async-threshold", 30*time.Second, "predicted runtime above which route=auto queries become background jobs (requires -jobs)")
 		preload      = flag.String("preload", "", "comma-separated graph names to load at startup")
+		coordinator  = flag.Bool("coordinator", false, "enable the distributed-enumeration coordinator (/cluster/jobs)")
+		clusterDir   = flag.String("cluster-dir", "kplex-cluster", "coordinator state directory (range checkpoints; with -coordinator)")
+		workers      = flag.String("workers", "", "comma-separated worker base URLs the coordinator leases ranges to")
+		leaseTimeout = flag.Duration("lease-timeout", 15*time.Second, "fail a range lease with no worker progress for this long")
 	)
 	flag.Parse()
+
+	var workerURLs []string
+	for _, u := range strings.Split(*workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			workerURLs = append(workerURLs, u)
+		}
+	}
+	coordDir := ""
+	if *coordinator {
+		coordDir = *clusterDir
+	}
 
 	srv, err := server.New(server.Config{
 		DataDir:             *dataDir,
@@ -88,6 +115,9 @@ func run() error {
 		DefaultThreads:      *threads,
 		MaxK:                *maxK,
 		RouteAsyncThreshold: *routeAsync,
+		ClusterDir:          coordDir,
+		ClusterWorkers:      workerURLs,
+		ClusterLeaseTimeout: *leaseTimeout,
 	})
 	if err != nil {
 		return err
@@ -137,7 +167,11 @@ func run() error {
 		close(idle)
 	}()
 
-	log.Printf("kplexd listening on %s (data=%q jobs=%q)", *addr, *dataDir, *jobsDir)
+	role := "worker"
+	if *coordinator {
+		role = fmt.Sprintf("coordinator (%d workers)", len(workerURLs))
+	}
+	log.Printf("kplexd listening on %s (data=%q jobs=%q cluster=%s)", *addr, *dataDir, *jobsDir, role)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -5,13 +5,19 @@
 // the jobs directory is durable, an interrupted local run resumes from its
 // last checkpoint when reinvoked).
 //
+// With -cluster the same commands drive a coordinator kplexd's
+// distributed jobs (/cluster/jobs) instead: submit fans the enumeration
+// out across the coordinator's registered workers, wait follows
+// range-level progress, and result fetches the merged aggregate — which
+// is byte-identical to what a single-node run of the same query returns.
+//
 // Usage:
 //
-//	kplexjob [-addr URL | -local -jobs DIR [-data DIR]] <command> [flags]
+//	kplexjob [-addr URL [-cluster] | -local -jobs DIR [-data DIR]] <command> [flags]
 //
 // Commands:
 //
-//	submit  -graph G -k K -q Q [-topn N] [-threads T] [-scheduler S] [-priority P] [-wait]
+//	submit  -graph G -k K -q Q [-topn N] [-threads T] [-scheduler S] [-priority P] [-ranges R] [-wait]
 //	list
 //	status  <id>
 //	wait    <id>
@@ -23,6 +29,7 @@
 //
 //	kplexjob -addr http://localhost:8080 submit -graph corpus:planted-a -k 2 -q 6 -wait
 //	kplexjob -local -jobs ./jobs -data ./graphs submit -graph web.txt -k 2 -q 12
+//	kplexjob -cluster submit -graph corpus:planted-a -k 2 -q 6 -ranges 8 -wait
 //	kplexjob wait j4f2a81c09d1b
 package main
 
@@ -39,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/jobs"
 	"repro/internal/server"
@@ -51,12 +59,17 @@ func main() {
 	}
 }
 
-// backend abstracts "talk to kplexd" vs "run the manager in-process".
+// backend abstracts "talk to kplexd" vs "run the manager in-process" vs
+// "talk to a cluster coordinator". list/status return `any` because the
+// cluster backend's views carry range-level fields the jobs types don't;
+// the commands only print them. wait reports the terminal state plus the
+// job's own error text; result is *jobs.Result everywhere because the
+// coordinator merges into the same result shape single-node jobs use.
 type backend interface {
-	submit(spec jobs.Spec) (*jobs.Manifest, error)
-	list() ([]jobs.View, error)
-	status(id string) (*jobs.View, error)
-	wait(id string) (*jobs.View, error)
+	submit(spec jobs.Spec) (id string, man any, err error)
+	list() (any, error)
+	status(id string) (any, error)
+	wait(id string) (jobs.State, string, error)
 	result(id string) (*jobs.Result, error)
 	cancel(id string) error
 	remove(id string) error
@@ -70,10 +83,11 @@ func run() error {
 		jobsDir = flag.String("jobs", "kplex-jobs", "jobs directory (-local only)")
 		dataDir = flag.String("data", "", "graph data directory (-local only; empty: corpus graphs only)")
 		workers = flag.Int("workers", 1, "concurrent jobs (-local only)")
+		clust   = flag.Bool("cluster", false, "drive the coordinator's distributed jobs (/cluster/jobs) instead of single-node jobs")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: kplexjob [-addr URL | -local -jobs DIR [-data DIR]] <submit|list|status|wait|result|cancel|delete> [flags]\n")
+			"usage: kplexjob [-addr URL [-cluster] | -local -jobs DIR [-data DIR]] <submit|list|status|wait|result|cancel|delete> [flags]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,6 +96,10 @@ func run() error {
 		return errors.New("missing command")
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	if *clust && *local {
+		return errors.New("-cluster needs a running coordinator kplexd; it cannot combine with -local")
+	}
 
 	var b backend
 	if *local {
@@ -97,6 +115,8 @@ func run() error {
 			return err
 		}
 		b = &localBackend{m: m}
+	} else if *clust {
+		b = &clusterBackend{h: &httpBackend{base: strings.TrimRight(*addr, "/")}}
 	} else {
 		b = &httpBackend{base: strings.TrimRight(*addr, "/")}
 	}
@@ -190,6 +210,7 @@ func cmdSubmit(b backend, local bool, args []string) error {
 	fs.StringVar(&spec.Scheduler, "scheduler", "", "stages | global-queue | steal")
 	fs.IntVar(&spec.Priority, "priority", 0, "higher runs first")
 	items := fs.String("items", "", `batch job: comma-separated "k:q[:topn]" cells (leave -k/-q/-topn unset); cells with equal k share one traversal`)
+	ranges := fs.Int("ranges", 0, "seed ranges the job is split into (-cluster only; default: coordinator's ranges-per-worker × workers)")
 	wait := fs.Bool("wait", false, "watch progress and print the result")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -200,17 +221,22 @@ func cmdSubmit(b backend, local bool, args []string) error {
 			return err
 		}
 	}
-	man, err := b.submit(spec)
+	if cb, ok := b.(*clusterBackend); ok {
+		cb.ranges = *ranges
+	} else if *ranges != 0 {
+		return errors.New("-ranges applies only with -cluster")
+	}
+	id, man, err := b.submit(spec)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "submitted", man.ID)
+	fmt.Fprintln(os.Stderr, "submitted", id)
 	// A local manager dies with this process, so submitting without
 	// waiting would leave the job queued forever; always wait.
 	if !*wait && !local {
 		return printJSON(man)
 	}
-	return waitAndReport(b, man.ID)
+	return waitAndReport(b, id)
 }
 
 // parseItems decodes the -items flag: comma-separated "k:q" or "k:q:topn"
@@ -241,12 +267,12 @@ func parseItems(s string) ([]jobs.SpecItem, error) {
 }
 
 func waitAndReport(b backend, id string) error {
-	v, err := b.wait(id)
+	state, errText, err := b.wait(id)
 	if err != nil {
 		return err
 	}
-	if v.State != jobs.StateDone {
-		return fmt.Errorf("job %s ended %s: %s", id, v.State, v.Error)
+	if state != jobs.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", id, state, errText)
 	}
 	res, err := b.result(id)
 	if err != nil {
@@ -272,10 +298,16 @@ func localLoader(dataDir string) jobs.GraphLoader {
 // localBackend drives an in-process manager.
 type localBackend struct{ m *jobs.Manager }
 
-func (l *localBackend) submit(spec jobs.Spec) (*jobs.Manifest, error) { return l.m.Submit(spec) }
-func (l *localBackend) list() ([]jobs.View, error)                    { return l.m.List(), nil }
-func (l *localBackend) status(id string) (*jobs.View, error)          { return l.m.Get(id) }
-func (l *localBackend) result(id string) (*jobs.Result, error)        { return l.m.Result(id) }
+func (l *localBackend) submit(spec jobs.Spec) (string, any, error) {
+	man, err := l.m.Submit(spec)
+	if err != nil {
+		return "", nil, err
+	}
+	return man.ID, man, nil
+}
+func (l *localBackend) list() (any, error)                     { return l.m.List(), nil }
+func (l *localBackend) status(id string) (any, error)          { return l.m.Get(id) }
+func (l *localBackend) result(id string) (*jobs.Result, error) { return l.m.Result(id) }
 func (l *localBackend) cancel(id string) error                        { return l.m.Cancel(id) }
 func (l *localBackend) remove(id string) error {
 	if err := l.m.Cancel(id); err == nil {
@@ -287,16 +319,20 @@ func (l *localBackend) remove(id string) error {
 }
 func (l *localBackend) close() { l.m.Close() }
 
-func (l *localBackend) wait(id string) (*jobs.View, error) {
+func (l *localBackend) wait(id string) (jobs.State, string, error) {
 	ch, stop, err := l.m.Subscribe(id)
 	if err != nil {
-		return nil, err
+		return "", "", err
 	}
 	defer stop()
 	for p := range ch {
 		reportProgress(p)
 	}
-	return l.m.Get(id)
+	v, err := l.m.Get(id)
+	if err != nil {
+		return "", "", err
+	}
+	return v.State, v.Error, nil
 }
 
 // httpBackend talks to a running kplexd.
@@ -334,24 +370,26 @@ func (h *httpBackend) do(method, path string, body io.Reader, out any) error {
 	return json.Unmarshal(data, out)
 }
 
-func (h *httpBackend) submit(spec jobs.Spec) (*jobs.Manifest, error) {
+func (h *httpBackend) submit(spec jobs.Spec) (string, any, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	var man jobs.Manifest
 	if err := h.do(http.MethodPost, "/jobs", strings.NewReader(string(body)), &man); err != nil {
-		return nil, err
+		return "", nil, err
 	}
-	return &man, nil
+	return man.ID, &man, nil
 }
 
-func (h *httpBackend) list() ([]jobs.View, error) {
+func (h *httpBackend) list() (any, error) {
 	var views []jobs.View
 	return views, h.do(http.MethodGet, "/jobs", nil, &views)
 }
 
-func (h *httpBackend) status(id string) (*jobs.View, error) {
+func (h *httpBackend) status(id string) (any, error) { return h.view(id) }
+
+func (h *httpBackend) view(id string) (*jobs.View, error) {
 	var v jobs.View
 	if err := h.do(http.MethodGet, "/jobs/"+id, nil, &v); err != nil {
 		return nil, err
@@ -380,15 +418,20 @@ func (h *httpBackend) remove(id string) error {
 
 // wait follows the NDJSON events feed; if the feed drops (kplexd restart),
 // it falls back to polling until the job is terminal.
-func (h *httpBackend) wait(id string) (*jobs.View, error) {
+func (h *httpBackend) wait(id string) (jobs.State, string, error) {
 	for {
 		resp, err := http.Get(h.base + "/jobs/" + id + "/events")
 		if err != nil {
-			return nil, err
+			return "", "", err
 		}
 		if resp.StatusCode != http.StatusOK {
 			resp.Body.Close()
-			return h.status(id) // 404 etc.: let status produce the error
+			// 404 etc.: let the status fetch produce the error.
+			v, err := h.view(id)
+			if err != nil {
+				return "", "", err
+			}
+			return v.State, v.Error, nil
 		}
 		sc := bufio.NewScanner(resp.Body)
 		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -403,18 +446,134 @@ func (h *httpBackend) wait(id string) (*jobs.View, error) {
 			}
 		}
 		resp.Body.Close()
-		v, err := h.status(id)
+		v, err := h.view(id)
 		if err != nil {
-			return nil, err
+			return "", "", err
 		}
 		switch v.State {
 		case jobs.StateDone, jobs.StateFailed, jobs.StateCancelled:
-			return v, nil
+			return v.State, v.Error, nil
 		}
 		// Feed ended but the job is still live (server restarting and
 		// resuming it); re-attach after a beat.
 		time.Sleep(time.Second)
 	}
+}
+
+// clusterBackend drives a coordinator kplexd's distributed jobs: same
+// verbs, /cluster/jobs paths, range-level progress.
+type clusterBackend struct {
+	h      *httpBackend
+	ranges int // submit's -ranges (0: coordinator default)
+}
+
+func (c *clusterBackend) close() {}
+
+func (c *clusterBackend) submit(spec jobs.Spec) (string, any, error) {
+	if spec.Priority != 0 || len(spec.Items) != 0 {
+		return "", nil, errors.New("-priority and -items do not apply to distributed jobs")
+	}
+	body, err := json.Marshal(cluster.Spec{
+		Graph:     spec.Graph,
+		K:         spec.K,
+		Q:         spec.Q,
+		TopN:      spec.TopN,
+		Ranges:    c.ranges,
+		Threads:   spec.Threads,
+		Scheduler: spec.Scheduler,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	var man cluster.Manifest
+	if err := c.h.do(http.MethodPost, "/cluster/jobs", strings.NewReader(string(body)), &man); err != nil {
+		return "", nil, err
+	}
+	return man.ID, &man, nil
+}
+
+func (c *clusterBackend) list() (any, error) {
+	var views []cluster.View
+	return views, c.h.do(http.MethodGet, "/cluster/jobs", nil, &views)
+}
+
+func (c *clusterBackend) status(id string) (any, error) { return c.view(id) }
+
+func (c *clusterBackend) view(id string) (*cluster.View, error) {
+	var v cluster.View
+	if err := c.h.do(http.MethodGet, "/cluster/jobs/"+id, nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+func (c *clusterBackend) result(id string) (*jobs.Result, error) {
+	var res jobs.Result
+	if err := c.h.do(http.MethodGet, "/cluster/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+func (c *clusterBackend) cancel(id string) error {
+	return c.h.do(http.MethodPost, "/cluster/jobs/"+id+"/cancel", nil, nil)
+}
+
+func (c *clusterBackend) remove(id string) error {
+	return c.h.do(http.MethodDelete, "/cluster/jobs/"+id, nil, nil)
+}
+
+// wait mirrors httpBackend.wait over the coordinator's events feed. A
+// coordinator restart parks running jobs as checkpointed and resumes
+// them on reopen, so a dropped feed re-attaches rather than giving up.
+func (c *clusterBackend) wait(id string) (jobs.State, string, error) {
+	for {
+		resp, err := http.Get(c.h.base + "/cluster/jobs/" + id + "/events")
+		if err != nil {
+			return "", "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			v, err := c.view(id)
+			if err != nil {
+				return "", "", err
+			}
+			return v.State, v.Error, nil
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || line == "{}" {
+				continue
+			}
+			var p cluster.Progress
+			if json.Unmarshal([]byte(line), &p) == nil {
+				reportClusterProgress(p)
+			}
+		}
+		resp.Body.Close()
+		v, err := c.view(id)
+		if err != nil {
+			return "", "", err
+		}
+		if v.State.Terminal() {
+			return v.State, v.Error, nil
+		}
+		time.Sleep(time.Second)
+	}
+}
+
+func reportClusterProgress(p cluster.Progress) {
+	extra := ""
+	if p.Reassigned > 0 {
+		extra += fmt.Sprintf("  reassigned %d", p.Reassigned)
+	}
+	if p.Stolen > 0 {
+		extra += fmt.Sprintf("  stolen %d", p.Stolen)
+	}
+	fmt.Fprintf(os.Stderr, "%-12s ranges %d/%d  seeds %d/%d  leased %d%s\n",
+		p.State, p.RangesDone, p.RangesTotal, p.SeedsDone, p.TotalSeeds, p.Leased, extra)
 }
 
 func reportProgress(p jobs.Progress) {

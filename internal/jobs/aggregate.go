@@ -140,6 +140,20 @@ func (a *Aggregate) seal() {
 	a.PlexXor = hex.EncodeToString(a.xor[:])
 }
 
+// Seal syncs the serialized digest field from the runtime state, making
+// the aggregate safe to marshal. It exists for other packages that ship
+// aggregates across process boundaries (the cluster layer's per-range
+// snapshots); the WAL seals internally.
+func (a *Aggregate) Seal() { a.seal() }
+
+// Unseal restores the runtime digest from the serialized field after
+// unmarshalling an aggregate received from another process.
+func (a *Aggregate) Unseal() error { return a.unseal() }
+
+// Snapshot returns a sealed deep copy safe to marshal while the original
+// keeps mutating.
+func (a *Aggregate) Snapshot() *Aggregate { return a.snapshot() }
+
 // unseal restores the runtime digest from the serialized field; call after
 // unmarshalling.
 func (a *Aggregate) unseal() error {

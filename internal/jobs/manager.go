@@ -53,6 +53,10 @@ func (s State) terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// Terminal is the exported form of terminal, for the layers that reuse
+// this state machine (the cluster coordinator).
+func (s State) Terminal() bool { return s.terminal() }
+
 // Spec is what a client submits: the result-defining query plus execution
 // knobs. The graph name is resolved by the manager's loader (a kplexd
 // registry name or a data-dir path, depending on the host).

@@ -23,6 +23,16 @@ import (
 
 const walName = "wal.ndjson"
 
+// walVersion is the schema version stamped on every record this binary
+// writes. Replay accepts records up to and including it (older records,
+// written before the field existed, carry 0 and mean the original layout);
+// a record with a HIGHER version was written by a newer binary over a
+// shared job dir — a coordinator and a worker on skewed releases, say —
+// and its payload cannot be assumed to merge under these rules, so replay
+// rejects the whole log instead of silently mis-merging or truncating
+// valid newer data.
+const walVersion = 1
+
 // walRecord is one fsynced checkpoint. Single-item jobs persist their one
 // cumulative aggregate as Agg (the original format, so logs written before
 // batch jobs existed replay unchanged); multi-item batch jobs persist the
@@ -30,6 +40,7 @@ const walName = "wal.ndjson"
 // spec's items. Seed ids are global across the job's traversal groups
 // (group g's local seed s is recorded as offset_g + s).
 type walRecord struct {
+	Ver   int          `json:"v,omitempty"` // schema version (0: pre-versioned layout)
 	Seq   int          `json:"seq"`
 	Seeds []int        `json:"seeds"`           // completed since the previous record
 	Agg   *Aggregate   `json:"agg,omitempty"`   // cumulative, covering all seeds so far
@@ -65,6 +76,7 @@ func openWAL(path string, lastSeq int) (*wal, error) {
 // replay. (If even the truncate fails the disk is gone; crash recovery's
 // torn-tail handling is the remaining backstop.)
 func (w *wal) append(rec *walRecord) error {
+	rec.Ver = walVersion
 	rec.Seq = w.seq + 1
 	payload, err := json.Marshal(rec)
 	if err != nil {
@@ -143,6 +155,17 @@ func replayWAL(path string) (*walReplay, error) {
 			rep.truncated = true
 			break
 		}
+		// Version and shape checks are hard errors, not torn-tail
+		// truncation: the record passed its CRC, so it is exactly what some
+		// binary durably wrote — just not something this binary can merge.
+		// Truncating it would silently resume from an older checkpoint and
+		// then append colliding sequence numbers after valid newer data.
+		if rec.Ver > walVersion {
+			return nil, fmt.Errorf("jobs: WAL record %d has schema version %d, but this binary understands at most %d (job dir shared with a newer binary?)", rec.Seq, rec.Ver, walVersion)
+		}
+		if rec.Agg != nil && len(rec.Items) > 0 {
+			return nil, fmt.Errorf("jobs: WAL record %d sets both agg and items; the log mixes single-query and batch layouts", rec.Seq)
+		}
 		if rec.Seq != rep.lastSeq+1 {
 			// A sequence gap means an earlier record was lost; everything
 			// after it is unusable.
@@ -152,6 +175,13 @@ func replayWAL(path string) (*walReplay, error) {
 		aggs := rec.Items
 		if aggs == nil {
 			aggs = []*Aggregate{rec.Agg}
+		}
+		if rep.aggs != nil && len(aggs) != len(rep.aggs) {
+			// Checkpoints of one job all describe the same item vector; an
+			// arity flip mid-log means records from a different job (or a
+			// rewritten spec) were spliced in. Merging across the flip would
+			// attribute aggregates to the wrong items.
+			return nil, fmt.Errorf("jobs: WAL record %d carries %d item aggregates, earlier records carry %d", rec.Seq, len(aggs), len(rep.aggs))
 		}
 		unsealOK := true
 		for _, a := range aggs {

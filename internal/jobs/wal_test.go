@@ -1,0 +1,145 @@
+package jobs
+
+// Replay regression tests for the job WAL's schema guards: records from a
+// newer binary, ambiguous single/batch layouts, and arity flips must be
+// hard errors — never silent torn-tail truncation, which would resume
+// from an older checkpoint underneath durable newer data. Legacy
+// unversioned records must keep replaying.
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sealedAgg builds a small sealed aggregate for hand-written records.
+func sealedAgg(seed int) *Aggregate {
+	a := NewAggregate(3)
+	a.AddPlex([]int{seed, seed + 1, seed + 2})
+	return a.snapshot()
+}
+
+// writeWALLine appends one correctly CRC-framed line with the payload
+// given verbatim, bypassing append()'s version/seq stamping.
+func writeWALLine(t *testing.T, path, payload string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "%08x %s\n", crc32.ChecksumIEEE([]byte(payload)), payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALReplayRejectsFutureVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, err := openWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(&walRecord{Seeds: []int{0}, Agg: sealedAgg(0)}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	writeWALLine(t, path, fmt.Sprintf(`{"v":%d,"seq":2,"seeds":[1],"agg":{"count":1,"topn":3},"enumMs":1}`, walVersion+1))
+
+	if _, err := replayWAL(path); err == nil {
+		t.Fatal("future-version record replayed without error")
+	}
+}
+
+func TestWALReplayRejectsAggAndItemsTogether(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	writeWALLine(t, path, `{"v":1,"seq":1,"seeds":[0],"agg":{"count":1,"topn":3},"items":[{"count":1,"topn":3}],"enumMs":1}`)
+
+	if _, err := replayWAL(path); err == nil {
+		t.Fatal("record with both agg and items replayed without error")
+	}
+}
+
+func TestWALReplayRejectsArityFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, err := openWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(&walRecord{Seeds: []int{0}, Items: []*Aggregate{sealedAgg(0), sealedAgg(10)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(&walRecord{Seeds: []int{1}, Items: []*Aggregate{sealedAgg(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	if _, err := replayWAL(path); err == nil {
+		t.Fatal("item-arity flip mid-log replayed without error")
+	}
+}
+
+func TestWALReplayRejectsRepeatedAndNegativeSeeds(t *testing.T) {
+	for name, lines := range map[string][]string{
+		"repeated": {
+			`{"v":1,"seq":1,"seeds":[4],"agg":{"count":1,"topn":3},"enumMs":1}`,
+			`{"v":1,"seq":2,"seeds":[4],"agg":{"count":2,"topn":3},"enumMs":2}`,
+		},
+		"negative": {
+			`{"v":1,"seq":1,"seeds":[-3],"agg":{"count":1,"topn":3},"enumMs":1}`,
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), walName)
+			for _, l := range lines {
+				writeWALLine(t, path, l)
+			}
+			if _, err := replayWAL(path); err == nil {
+				t.Fatal("corrupt seed list replayed without error")
+			}
+		})
+	}
+}
+
+// TestWALReplayAcceptsLegacyUnversionedRecords: logs written before the
+// version field existed carry no "v" key and must replay unchanged.
+func TestWALReplayAcceptsLegacyUnversionedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	agg := sealedAgg(7)
+	writeWALLine(t, path, fmt.Sprintf(`{"seq":1,"seeds":[0,2],"agg":{"count":%d,"maxSize":%d,"topn":%d,"plexXor":%q},"enumMs":5}`,
+		agg.Count, agg.MaxSize, agg.TopN, agg.PlexXor))
+
+	rep, err := replayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.truncated || rep.lastSeq != 1 || len(rep.doneSeeds) != 2 {
+		t.Fatalf("legacy replay = truncated=%v lastSeq=%d seeds=%v", rep.truncated, rep.lastSeq, rep.doneSeeds)
+	}
+	if len(rep.aggs) != 1 || rep.aggs[0].PlexDigest() != agg.PlexDigest() {
+		t.Fatalf("legacy replay aggregates = %v", rep.aggs)
+	}
+}
+
+// TestWALVersionRoundTrip: what this binary writes, this binary replays.
+func TestWALVersionRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, err := openWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.append(&walRecord{Seeds: []int{i}, Agg: sealedAgg(i), EnumMS: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	rep, err := replayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.truncated || rep.lastSeq != 3 || len(rep.doneSeeds) != 3 {
+		t.Fatalf("replay = truncated=%v lastSeq=%d seeds=%v", rep.truncated, rep.lastSeq, rep.doneSeeds)
+	}
+}

@@ -79,6 +79,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("GET /stream", s.handleStreamGet)
 	s.jobsRoutes()
+	s.clusterRoutes()
 }
 
 // writeJSON writes v with status code.

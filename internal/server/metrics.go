@@ -30,6 +30,7 @@ type metrics struct {
 	AutoTuned        atomic.Int64 // scheduler=auto queries tuned from the cost model
 	RoutedAsync      atomic.Int64 // route=auto queries converted into background jobs
 	CostObservations atomic.Int64 // measured runtimes fed to the cost calibrator
+	RangeRuns        atomic.Int64 // distributed seed ranges served as a cluster worker
 }
 
 // snapshot returns the counters as a plain map for JSON encoding.
@@ -53,6 +54,7 @@ func (m *metrics) snapshot() map[string]int64 {
 		"auto_tuned":        m.AutoTuned.Load(),
 		"routed_async":      m.RoutedAsync.Load(),
 		"cost_observations": m.CostObservations.Load(),
+		"range_runs":        m.RangeRuns.Load(),
 	}
 }
 
@@ -60,11 +62,13 @@ func (m *metrics) snapshot() map[string]int64 {
 // monotonic counters; everything else gets Prometheus counter semantics
 // (and the conventional _total suffix).
 var promGauges = map[string]bool{
-	"cache_entries":    true,
-	"resident_graphs":  true,
-	"prepared_entries": true,
-	"jobs_running":     true,
-	"jobs_queued":      true,
+	"cache_entries":        true,
+	"resident_graphs":      true,
+	"prepared_entries":     true,
+	"jobs_running":         true,
+	"jobs_queued":          true,
+	"cluster_jobs_running": true,
+	"cluster_jobs_queued":  true,
 }
 
 // handleMetricsProm serves GET /metrics in the Prometheus text exposition

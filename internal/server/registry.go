@@ -100,7 +100,25 @@ func (r *Registry) Acquire(name string) (*GraphEntry, error) {
 	r.loading[name] = wg
 	r.mu.Unlock()
 
+	// The in-flight marker must be cleared even if the loader panics (a
+	// corrupt file tripping a parser bug, say): net/http recovers handler
+	// panics and keeps serving, so a leaked marker would wedge every future
+	// Acquire of this name in wg.Wait forever. The panic itself still
+	// propagates; only the cleanup is deferred. On the normal paths the
+	// marker is cleared below, atomically with registering the entry, so
+	// waiters never observe "no entry, no load in flight" after a
+	// successful load.
+	loaded := false
+	defer func() {
+		if !loaded {
+			r.mu.Lock()
+			delete(r.loading, name)
+			wg.Done()
+			r.mu.Unlock()
+		}
+	}()
 	g, err := r.loader(name)
+	loaded = true
 
 	r.mu.Lock()
 	delete(r.loading, name)

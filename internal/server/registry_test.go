@@ -1,0 +1,131 @@
+package server
+
+// Regression tests for the registry's error paths: a failed or panicking
+// load must clear the in-flight marker (or every later Acquire of that
+// name wedges in wg.Wait forever), and the refcount must gate Evict.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestRegistryLoaderErrorAllowsRetry(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRegistry(2, func(string) (*graph.Graph, error) {
+		if calls.Add(1) == 1 {
+			return nil, errors.New("transient read failure")
+		}
+		return gen.GNP(20, 0.3, 1), nil
+	})
+	if _, err := r.Acquire("g"); err == nil {
+		t.Fatal("first acquire did not surface the loader error")
+	}
+	// The failed load must not leave a marker behind: the retry loads.
+	e, err := r.Acquire("g")
+	if err != nil {
+		t.Fatalf("acquire after failed load: %v", err)
+	}
+	r.Release(e)
+	if got := calls.Load(); got != 2 {
+		t.Errorf("loader ran %d times, want 2", got)
+	}
+}
+
+func TestRegistryPanickingLoaderDoesNotWedge(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRegistry(2, func(string) (*graph.Graph, error) {
+		if calls.Add(1) == 1 {
+			panic("parser bug on corrupt file")
+		}
+		return gen.GNP(20, 0.3, 1), nil
+	})
+	// net/http recovers handler panics and keeps serving; simulate that.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("loader panic did not propagate")
+			}
+		}()
+		r.Acquire("g") //nolint:errcheck
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Acquire("g")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("acquire after panicked load: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("acquire wedged behind the panicked load's in-flight marker")
+	}
+}
+
+func TestRegistryConcurrentAcquireSingleLoad(t *testing.T) {
+	var loads atomic.Int64
+	r := NewRegistry(4, func(string) (*graph.Graph, error) {
+		loads.Add(1)
+		time.Sleep(50 * time.Millisecond) // hold the herd on the marker
+		return gen.GNP(20, 0.3, 1), nil
+	})
+	const herd = 16
+	entries := make(chan *GraphEntry, herd)
+	errs := make(chan error, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := r.Acquire("g")
+			if err != nil {
+				errs <- err
+				return
+			}
+			entries <- e
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(entries)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := loads.Load(); got != 1 {
+		t.Errorf("loader ran %d times for %d concurrent acquires, want 1", got, herd)
+	}
+	for e := range entries {
+		r.Release(e)
+	}
+	if err := r.Evict("g"); err != nil {
+		t.Errorf("evict after all releases: %v", err)
+	}
+}
+
+func TestRegistryEvictRespectsRefcount(t *testing.T) {
+	r := NewRegistry(2, func(string) (*graph.Graph, error) {
+		return gen.GNP(20, 0.3, 1), nil
+	})
+	e, err := r.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Evict("g"); !errors.Is(err, ErrInUse) {
+		t.Errorf("evict of a pinned graph = %v, want ErrInUse", err)
+	}
+	r.Release(e)
+	if err := r.Evict("g"); err != nil {
+		t.Errorf("evict after release: %v", err)
+	}
+	if err := r.Evict("g"); !errors.Is(err, ErrNotResident) {
+		t.Errorf("second evict = %v, want ErrNotResident", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/jobs"
 	"repro/internal/kplex"
@@ -94,6 +95,28 @@ type Config struct {
 	// model, calibrated online against this server's observed runtimes (see
 	// routing.go).
 	RouteAsyncThreshold time.Duration
+
+	// ClusterDir enables the distributed-enumeration coordinator: jobs
+	// submitted to POST /cluster/jobs have their seed space partitioned
+	// into ranges leased to the registered worker kplexds, with completed
+	// ranges checkpointed under this directory. Empty disables the
+	// coordinator endpoints (they answer 503); the worker endpoint POST
+	// /cluster/run is always served, so any kplexd can join a cluster.
+	ClusterDir string
+	// ClusterWorkers seeds the coordinator's worker set with base URLs;
+	// more can register at runtime via POST /cluster/workers.
+	ClusterWorkers []string
+	// ClusterLeaseTimeout fails a range lease whose worker stops streaming
+	// for this long (default 15s; see cluster.Config.LeaseTimeout).
+	ClusterLeaseTimeout time.Duration
+	// ClusterStealAfter is how long a range must have been on lease before
+	// an idle worker speculatively re-leases it (default 2× lease timeout).
+	ClusterStealAfter time.Duration
+	// ClusterRangesPerWorker sizes default partitions (default 4).
+	ClusterRangesPerWorker int
+	// ClusterMaxRangeAttempts fails a job once one range has lost this
+	// many leases (default 8).
+	ClusterMaxRangeAttempts int
 }
 
 func (c Config) withDefaults() Config {
@@ -151,7 +174,8 @@ type Server struct {
 	met     metrics
 	mux     *http.ServeMux
 	router  *costRouter
-	jobs    *jobs.Manager // nil when Config.JobsDir is empty
+	jobs    *jobs.Manager        // nil when Config.JobsDir is empty
+	cluster *cluster.Coordinator // nil when Config.ClusterDir is empty
 	baseCtx context.Context
 	stop    context.CancelFunc
 }
@@ -193,6 +217,23 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.jobs = man
 	}
+	if cfg.ClusterDir != "" {
+		co, err := cluster.Open(cluster.Config{
+			Dir:              cfg.ClusterDir,
+			Load:             s.jobGraph,
+			Prepare:          s.jobPrepared,
+			Workers:          cfg.ClusterWorkers,
+			LeaseTimeout:     cfg.ClusterLeaseTimeout,
+			StealAfter:       cfg.ClusterStealAfter,
+			RangesPerWorker:  cfg.ClusterRangesPerWorker,
+			MaxRangeAttempts: cfg.ClusterMaxRangeAttempts,
+			MaxTopN:          cfg.MaxTopN,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("opening cluster coordinator: %w", err)
+		}
+		s.cluster = co
+	}
 	s.routes()
 	return s, nil
 }
@@ -200,6 +241,9 @@ func New(cfg Config) (*Server, error) {
 // Jobs exposes the job manager (tests and the preload path); nil when the
 // subsystem is disabled.
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Cluster exposes the distributed-job coordinator; nil when disabled.
+func (s *Server) Cluster() *cluster.Coordinator { return s.cluster }
 
 // jobGraph adapts the graph registry to the job manager's loader: the
 // graph stays pinned for the whole run.
@@ -246,6 +290,11 @@ func (s *Server) Metrics() map[string]int64 {
 			snap[k] = v
 		}
 	}
+	if s.cluster != nil {
+		for k, v := range s.cluster.Counters().Snapshot() {
+			snap[k] = v
+		}
+	}
 	return snap
 }
 
@@ -254,6 +303,9 @@ func (s *Server) Metrics() map[string]int64 {
 // In-flight handlers finish on their own (http.Server.Shutdown handles
 // draining them).
 func (s *Server) Close() {
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	if s.jobs != nil {
 		s.jobs.Close()
 	}
