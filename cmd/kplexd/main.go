@@ -24,6 +24,12 @@
 //	POST /cluster/run        execute one leased seed range (every kplexd is a worker)
 //	POST /cluster/workers    register a worker (coordinator only; see -coordinator)
 //	POST /cluster/jobs       submit a distributed enumeration (coordinator only)
+//	GET  /debug/queries      in-flight queries: stage, age, seed progress
+//	GET  /debug/traces       recent finished request traces
+//	GET  /debug/traces/{id}  one trace with all spans (see X-Trace-Id)
+//
+// With -debug-addr a second, private listener additionally serves
+// net/http/pprof under /debug/pprof/.
 //
 // Graph names are file paths under -data (any supported format,
 // auto-detected) or builtin corpus graphs ("corpus:planted-a", ...).
@@ -89,6 +95,10 @@ func run() error {
 		clusterDir   = flag.String("cluster-dir", "kplex-cluster", "coordinator state directory (range checkpoints; with -coordinator)")
 		workers      = flag.String("workers", "", "comma-separated worker base URLs the coordinator leases ranges to")
 		leaseTimeout = flag.Duration("lease-timeout", 15*time.Second, "fail a range lease with no worker progress for this long")
+		debugAddr    = flag.String("debug-addr", "", "private listen address for pprof and debug endpoints (empty: disabled; bind to loopback)")
+		traceSample  = flag.Int("trace-sample", 1, "trace 1 in N interactive requests (jobs are always traced)")
+		slowLog      = flag.String("slow-query-log", "", "path of the rotating slow-query NDJSON log (empty: disabled)")
+		slowAfter    = flag.Duration("slow-query-threshold", time.Second, "wall-clock above which a request is recorded in the slow-query log")
 	)
 	flag.Parse()
 
@@ -118,6 +128,9 @@ func run() error {
 		ClusterDir:          coordDir,
 		ClusterWorkers:      workerURLs,
 		ClusterLeaseTimeout: *leaseTimeout,
+		TraceSampleEvery:    *traceSample,
+		SlowQueryLog:        *slowLog,
+		SlowQueryThreshold:  *slowAfter,
 	})
 	if err != nil {
 		return err
@@ -152,6 +165,26 @@ func run() error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The debug listener carries pprof, which can stall the process for
+	// seconds per profile; it is a second server on a (normally loopback)
+	// address so the public API port never exposes it. Best-effort: a debug
+	// listener that cannot bind logs and moves on rather than killing the
+	// service.
+	var ds *http.Server
+	if *debugAddr != "" {
+		ds = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("debug listener (pprof, /debug/queries, /debug/traces) on %s", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener failed: %v", err)
+			}
+		}()
+	}
+
 	// Graceful shutdown: stop accepting, drain handlers, checkpoint and
 	// stop background jobs, cancel detached executions.
 	idle := make(chan struct{})
@@ -163,6 +196,9 @@ func run() error {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		hs.Shutdown(ctx) //nolint:errcheck
+		if ds != nil {
+			ds.Shutdown(ctx) //nolint:errcheck
+		}
 		srv.Close()
 		close(idle)
 	}()

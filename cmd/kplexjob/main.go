@@ -24,6 +24,8 @@
 //	result  <id>
 //	cancel  <id>
 //	delete  <id>
+//	trace   <trace-id>   fetch one finished trace from the server's ring
+//	                     (a job manifest's traceId field names it)
 //
 // Examples:
 //
@@ -87,7 +89,7 @@ func run() error {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: kplexjob [-addr URL [-cluster] | -local -jobs DIR [-data DIR]] <submit|list|status|wait|result|cancel|delete> [flags]\n")
+			"usage: kplexjob [-addr URL [-cluster] | -local -jobs DIR [-data DIR]] <submit|list|status|wait|result|cancel|delete|trace> [flags]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -177,6 +179,25 @@ func run() error {
 		}
 		fmt.Fprintln(os.Stderr, "deleted", id)
 		return nil
+	case "trace":
+		if len(args) != 1 {
+			return errors.New("expected exactly one trace id")
+		}
+		if *local {
+			return errors.New("trace requires a running kplexd (-addr): traces live in the server's ring")
+		}
+		// Jobs and distributed jobs pin their trace id in the manifest
+		// (traceId); interactive queries return theirs in X-Trace-Id.
+		h := &httpBackend{base: strings.TrimRight(*addr, "/")}
+		var td json.RawMessage
+		if err := h.do(http.MethodGet, "/debug/traces/"+args[0], nil, &td); err != nil {
+			return err
+		}
+		var v any
+		if err := json.Unmarshal(td, &v); err != nil {
+			return err
+		}
+		return printJSON(v)
 	default:
 		flag.Usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -308,7 +329,7 @@ func (l *localBackend) submit(spec jobs.Spec) (string, any, error) {
 func (l *localBackend) list() (any, error)                     { return l.m.List(), nil }
 func (l *localBackend) status(id string) (any, error)          { return l.m.Get(id) }
 func (l *localBackend) result(id string) (*jobs.Result, error) { return l.m.Result(id) }
-func (l *localBackend) cancel(id string) error                        { return l.m.Cancel(id) }
+func (l *localBackend) cancel(id string) error                 { return l.m.Cancel(id) }
 func (l *localBackend) remove(id string) error {
 	if err := l.m.Cancel(id); err == nil {
 		return nil

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/kplex"
+	"repro/internal/obs"
 )
 
 // Spec is what a client submits to the coordinator: the result-defining
@@ -87,6 +88,9 @@ type Manifest struct {
 	// EnumMS is cumulative distributed enumeration wall-clock across
 	// coordinator incarnations.
 	EnumMS float64 `json:"enumMs,omitempty"`
+	// TraceID names the job's stitched trace in the coordinator's
+	// /debug/traces ring; pinned at first run.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // Progress is the live view streamed to watchers.
@@ -146,6 +150,11 @@ type RangeLine struct {
 	Agg       *jobs.Aggregate `json:"agg,omitempty"`
 	ElapsedMS float64         `json:"elapsedMs,omitempty"`
 	Error     string          `json:"error,omitempty"`
+	// Spans is the worker's share of a propagated trace (admission,
+	// prepare, enumerate), shipped with the Done line so the coordinator
+	// can stitch one distributed trace. Empty when the request carried no
+	// Traceparent header.
+	Spans []obs.SpanData `json:"spans,omitempty"`
 }
 
 // RunRange executes one leased range against a prepared handle: it

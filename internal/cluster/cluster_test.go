@@ -89,9 +89,9 @@ func TestPartition(t *testing.T) {
 	for _, tc := range []struct{ total, n, wantRanges int }{
 		{10, 3, 3},
 		{10, 1, 1},
-		{10, 0, 1},   // clamped up
-		{3, 10, 3},   // clamped down: no empty ranges
-		{0, 4, 0},    // empty seed space
+		{10, 0, 1}, // clamped up
+		{3, 10, 3}, // clamped down: no empty ranges
+		{0, 4, 0},  // empty seed space
 		{100, 7, 7},
 		{1, 1, 1},
 	} {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/jobs"
 	"repro/internal/kplex"
+	"repro/internal/obs"
 )
 
 // Config wires a Coordinator to its host.
@@ -63,6 +64,14 @@ type Config struct {
 	MaxTopN     int
 	// Logf receives operational notices (default log.Printf).
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, records one stitched trace per distributed
+	// job: coordinator-side prepare/lease/merge spans plus the worker-side
+	// spans shipped back on each range's Done line.
+	Tracer *obs.Tracer
+	// ObserveLease, when non-nil, receives the round-trip duration of
+	// every successfully completed range lease — the feed for the host's
+	// lease latency histogram.
+	ObserveLease func(d time.Duration)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -118,18 +127,18 @@ type Counters struct {
 // Snapshot renders the counters for a metrics endpoint.
 func (c *Counters) Snapshot() map[string]int64 {
 	return map[string]int64{
-		"cluster_jobs_submitted":        c.Submitted.Load(),
-		"cluster_jobs_completed":        c.Completed.Load(),
-		"cluster_jobs_failed":           c.Failed.Load(),
-		"cluster_jobs_cancelled":        c.Cancelled.Load(),
-		"cluster_jobs_resumed":          c.Resumed.Load(),
-		"cluster_jobs_queued":           c.Queued.Load(),
-		"cluster_jobs_running":          c.Running.Load(),
-		"cluster_ranges_done":           c.RangesDone.Load(),
-		"cluster_leases_reassigned":     c.Reassigned.Load(),
-		"cluster_leases_expired":        c.Expired.Load(),
-		"cluster_leases_stolen":         c.Stolen.Load(),
-		"cluster_double_reports":        c.DoubleReports.Load(),
+		"cluster_jobs_submitted":    c.Submitted.Load(),
+		"cluster_jobs_completed":    c.Completed.Load(),
+		"cluster_jobs_failed":       c.Failed.Load(),
+		"cluster_jobs_cancelled":    c.Cancelled.Load(),
+		"cluster_jobs_resumed":      c.Resumed.Load(),
+		"cluster_jobs_queued":       c.Queued.Load(),
+		"cluster_jobs_running":      c.Running.Load(),
+		"cluster_ranges_done":       c.RangesDone.Load(),
+		"cluster_leases_reassigned": c.Reassigned.Load(),
+		"cluster_leases_expired":    c.Expired.Load(),
+		"cluster_leases_stolen":     c.Stolen.Load(),
+		"cluster_double_reports":    c.DoubleReports.Load(),
 	}
 }
 
@@ -739,18 +748,29 @@ func (c *Coordinator) finishJob(j *djob, err error) {
 func (c *Coordinator) runJob(ctx context.Context, j *djob) error {
 	j.mu.Lock()
 	spec := j.man.Spec
+	// Pin the trace id with the manifest (persisted alongside the
+	// decomposition pin below) so resumed incarnations extend one trace.
+	if j.man.TraceID == "" && c.cfg.Tracer != nil {
+		j.man.TraceID = obs.NewTraceID()
+	}
+	t := c.cfg.Tracer.StartWithID(j.man.TraceID, "cluster-job "+j.man.ID)
 	j.mu.Unlock()
+	defer t.Finish()
 
+	prepSpan := t.StartSpan("prepare").Attr("graph", spec.Graph)
 	g, digest, release, err := c.cfg.Load(spec.Graph)
 	if err != nil {
+		prepSpan.EndErr(err)
 		return err
 	}
 	defer release()
 	p, err := c.cfg.Prepare(g, digest, kplex.NewOptions(spec.K, spec.Q))
 	if err != nil {
+		prepSpan.EndErr(err)
 		return err
 	}
 	total := p.SeedSpace()
+	prepSpan.Attr("seeds", fmt.Sprint(total)).End()
 
 	// Pin the decomposition on first run; later incarnations (and every
 	// worker, via the request's digest/totalSeeds) must reproduce it
@@ -795,6 +815,7 @@ func (c *Coordinator) runJob(ctx context.Context, j *djob) error {
 	defer w.Close()
 
 	d := newDispatcher(c, j, &spec, digest, total, ranges, rep, w)
+	d.trace = t
 	c.mu.Lock()
 	c.active = d
 	c.mu.Unlock()
@@ -809,10 +830,12 @@ func (c *Coordinator) runJob(ctx context.Context, j *djob) error {
 	// Merge in range order. Ranges partition the seed space, and aggregate
 	// merging is exact over disjoint plex sets, so this reproduces the
 	// single-node answer bit for bit.
+	mergeSpan := t.StartSpan("merge").Attr("ranges", fmt.Sprint(len(ranges)))
 	merged := jobs.NewAggregate(spec.TopN)
 	for i := range ranges {
 		merged.Merge(d.aggs[i])
 	}
+	mergeSpan.End()
 	res := &jobs.Result{
 		Count:      merged.Count,
 		MaxSize:    merged.MaxSize,

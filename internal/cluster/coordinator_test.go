@@ -521,10 +521,10 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	t.Cleanup(c.Close)
 	for _, spec := range []Spec{
-		{K: 2, Q: 6},                                     // no graph
-		{Graph: "g", K: 0, Q: 6},                         // bad k
-		{Graph: "g", K: 2, Q: 2},                         // q < 2k-1
-		{Graph: "g", K: 2, Q: 6, TopN: 100000},           // topn over MaxTopN
+		{K: 2, Q: 6},                           // no graph
+		{Graph: "g", K: 0, Q: 6},               // bad k
+		{Graph: "g", K: 2, Q: 2},               // q < 2k-1
+		{Graph: "g", K: 2, Q: 6, TopN: 100000}, // topn over MaxTopN
 		{Graph: "g", K: 2, Q: 6, Ranges: maxSpecRanges + 1},
 		{Graph: "g", K: 2, Q: 6, Threads: 300},
 		{Graph: "g", K: 2, Q: 6, Scheduler: "lifo"},

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // The dispatcher is one job's scheduling loop: it holds the range board
@@ -59,6 +60,12 @@ type dispatcher struct {
 	lastPub    time.Time
 	reassigned int64
 	stolen     int64
+
+	// trace is the job's stitched trace (nil when untraced): runLease
+	// records one span per lease attempt and grafts the worker-side spans
+	// shipped back on each Done line. Trace methods are internally
+	// synchronised, so lease goroutines use it without d.mu.
+	trace *obs.Trace
 }
 
 func newDispatcher(c *Coordinator, j *djob, spec *Spec, digest string, total int, ranges []Range, rep *rangeReplay, w *rangeWAL) *dispatcher {
@@ -223,14 +230,34 @@ func (d *dispatcher) runLease(ctx context.Context, l *lease) {
 	})
 	req := d.req
 	req.Lo, req.Hi = d.ranges[l.rid].Lo, d.ranges[l.rid].Hi
-	agg, err := callRange(lctx, d.c.client, l.w.url, &req, func(n int) {
+	span := d.trace.StartSpan("lease").
+		Attr("range", fmt.Sprintf("[%d,%d)", req.Lo, req.Hi)).
+		Attr("worker", l.w.url)
+	if l.stolen {
+		span.Attr("stolen", "true")
+	}
+	agg, spans, err := callRange(lctx, d.c.client, l.w.url, &req, obs.Traceparent(d.trace.ID()), func(n int) {
 		watchdog.Reset(d.c.cfg.LeaseTimeout)
 		d.noteProgress(l, n)
 	})
 	watchdog.Stop()
 	if err == nil {
+		// Tag the worker's spans with their origin before grafting; the
+		// worker does not know the URL the coordinator reached it under.
+		for i := range spans {
+			if spans[i].Attrs == nil {
+				spans[i].Attrs = make(map[string]string, 1)
+			}
+			spans[i].Attrs["worker"] = l.w.url
+		}
+		d.trace.AddSpans(spans)
+		span.End()
+		if d.c.cfg.ObserveLease != nil {
+			d.c.cfg.ObserveLease(time.Since(l.started))
+		}
 		d.complete(l, agg)
 	} else {
+		span.EndErr(err)
 		d.fail(ctx, l, err)
 	}
 }

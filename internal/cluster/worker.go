@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // workerState is one registered worker. The URL is immutable; the mutable
@@ -42,26 +43,32 @@ func workerBackoff(fails int) time.Duration {
 // callRange posts one leased range to a worker and consumes its NDJSON
 // response: progress lines invoke onSeeds (monotonic count of range seeds
 // the worker finished, used to feed the lease watchdog), and the final
-// Done line yields the range's aggregate. Any transport error, in-band
-// error line, or stream that ends without a Done line fails the lease.
-func callRange(ctx context.Context, hc *http.Client, workerURL string, req *RangeRequest, onSeeds func(int)) (*jobs.Aggregate, error) {
+// Done line yields the range's aggregate plus the worker's trace spans
+// (when traceparent is non-empty, it is sent as the Traceparent header so
+// the worker records its share of the coordinator's trace). Any transport
+// error, in-band error line, or stream that ends without a Done line
+// fails the lease.
+func callRange(ctx context.Context, hc *http.Client, workerURL string, req *RangeRequest, traceparent string, onSeeds func(int)) (*jobs.Aggregate, []obs.SpanData, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimRight(workerURL, "/")+"/cluster/run", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		hreq.Header.Set(obs.TraceparentHeader, traceparent)
+	}
 	resp, err := hc.Do(hreq)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return nil, fmt.Errorf("cluster: worker %s refused range [%d, %d): %s: %s", workerURL, req.Lo, req.Hi, resp.Status, strings.TrimSpace(string(msg)))
+		return nil, nil, fmt.Errorf("cluster: worker %s refused range [%d, %d): %s: %s", workerURL, req.Lo, req.Hi, resp.Status, strings.TrimSpace(string(msg)))
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -75,26 +82,26 @@ func callRange(ctx context.Context, hc *http.Client, workerURL string, req *Rang
 		}
 		var rl RangeLine
 		if err := json.Unmarshal(line, &rl); err != nil {
-			return nil, fmt.Errorf("cluster: worker %s sent an unparseable range line: %w", workerURL, err)
+			return nil, nil, fmt.Errorf("cluster: worker %s sent an unparseable range line: %w", workerURL, err)
 		}
 		if rl.Error != "" {
-			return nil, fmt.Errorf("cluster: worker %s failed range [%d, %d): %s", workerURL, req.Lo, req.Hi, rl.Error)
+			return nil, nil, fmt.Errorf("cluster: worker %s failed range [%d, %d): %s", workerURL, req.Lo, req.Hi, rl.Error)
 		}
 		if rl.Done {
 			if rl.Agg == nil {
-				return nil, fmt.Errorf("cluster: worker %s completed range [%d, %d) without an aggregate", workerURL, req.Lo, req.Hi)
+				return nil, nil, fmt.Errorf("cluster: worker %s completed range [%d, %d) without an aggregate", workerURL, req.Lo, req.Hi)
 			}
 			if err := rl.Agg.Unseal(); err != nil {
-				return nil, fmt.Errorf("cluster: worker %s: %w", workerURL, err)
+				return nil, nil, fmt.Errorf("cluster: worker %s: %w", workerURL, err)
 			}
-			return rl.Agg, nil
+			return rl.Agg, rl.Spans, nil
 		}
 		if onSeeds != nil {
 			onSeeds(rl.SeedsDone)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("cluster: worker %s stream broke mid-range: %w", workerURL, err)
+		return nil, nil, fmt.Errorf("cluster: worker %s stream broke mid-range: %w", workerURL, err)
 	}
-	return nil, fmt.Errorf("cluster: worker %s closed the stream before completing range [%d, %d)", workerURL, req.Lo, req.Hi)
+	return nil, nil, fmt.Errorf("cluster: worker %s closed the stream before completing range [%d, %d)", workerURL, req.Lo, req.Hi)
 }

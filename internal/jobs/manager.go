@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/kplex"
+	"repro/internal/obs"
 )
 
 // State is a job's position in the lifecycle. Queued and running are
@@ -148,6 +149,9 @@ type Manifest struct {
 	FinishedAt time.Time `json:"finishedAt,omitzero"`
 	// EnumMS is cumulative enumeration wall-clock across incarnations.
 	EnumMS float64 `json:"enumMs,omitempty"`
+	// TraceID names the job's trace in the host's /debug/traces ring.
+	// Pinned at first run so resumed incarnations extend one trace id.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // Progress is the live view streamed to watchers.
@@ -252,6 +256,17 @@ type Config struct {
 	ObserveCost func(f kplex.CostFeatures, elapsed time.Duration)
 	// Logf receives operational log lines (default: discarded).
 	Logf func(format string, args ...any)
+
+	// Tracer, when non-nil, records one trace per job incarnation
+	// (admission, prepare, enumerate and checkpoint spans) under the
+	// job's stable trace id, retrievable via the host's /debug/traces.
+	Tracer *obs.Tracer
+	// ObserveFsync, when non-nil, receives the duration of every
+	// successful WAL fsync — the feed for a fsync latency histogram.
+	ObserveFsync func(d time.Duration)
+	// ObserveJob, when non-nil, receives the cumulative enumeration
+	// wall-clock of every job that reaches Done.
+	ObserveJob func(d time.Duration)
 
 	// CrashAfterSeeds is a test failpoint: when > 0, a running job aborts
 	// as if the process had died after completing that many seed groups in
@@ -805,6 +820,9 @@ func (m *Manager) finishLocked(j *job, state State, cause error) {
 	switch state {
 	case StateDone:
 		m.counters.Completed.Add(1)
+		if m.cfg.ObserveJob != nil {
+			m.cfg.ObserveJob(time.Duration(j.man.EnumMS * float64(time.Millisecond)))
+		}
 	case StateFailed:
 		m.counters.Failed.Add(1)
 	case StateCancelled:

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/kplex"
+	"repro/internal/obs"
 )
 
 // jobRun is the volatile state of one incarnation of a running job. A job
@@ -44,6 +45,7 @@ type jobRun struct {
 	baseEnumMS   float64 // enumeration time of previous incarnations
 	crashed      bool
 
+	trace  *obs.Trace // this incarnation's trace (nil when untraced)
 	cancel context.CancelCauseFunc
 }
 
@@ -126,15 +128,24 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 	spec := j.man.Spec
 	resume := j.resume
 	j.resume = nil
+	// Pin the trace id with the manifest so a resumed incarnation extends
+	// the same trace; it is persisted with the StateRunning write below.
+	if j.man.TraceID == "" && m.cfg.Tracer != nil {
+		j.man.TraceID = obs.NewTraceID()
+	}
+	t := m.cfg.Tracer.StartWithID(j.man.TraceID, "job "+j.man.ID)
 	j.mu.Unlock()
+	defer t.Finish()
 
 	items, groups, err := spec.queries(m.cfg.DefaultThreads)
 	if err != nil {
 		return err
 	}
 
+	prepSpan := t.StartSpan("prepare").Attr("graph", spec.Graph)
 	g, digest, release, err := m.cfg.Load(spec.Graph)
 	if err != nil {
+		prepSpan.EndErr(err)
 		return fmt.Errorf("loading graph %q: %w", spec.Graph, err)
 	}
 	defer release()
@@ -150,12 +161,14 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 	for gi := range groups {
 		p, err := m.prepared(g, digest, groups[gi].Cell)
 		if err != nil {
+			prepSpan.EndErr(err)
 			return err
 		}
 		prepared[gi] = p
 		offsets[gi] = totalSeeds
 		totalSeeds += p.SeedSpace()
 	}
+	prepSpan.Attr("seeds", fmt.Sprint(totalSeeds)).End()
 
 	// Pin (or verify) the identity of the decomposition the checkpoints
 	// refer to. A changed graph file or seed space makes every persisted
@@ -176,7 +189,9 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 
 	// Share the host's enumeration capacity with interactive queries.
 	if m.cfg.Admit != nil {
+		admitSpan := t.StartSpan("admission")
 		releaseSlot, err := m.cfg.Admit(runCtx)
+		admitSpan.EndErr(err)
 		if err != nil {
 			return m.interruptCause(runCtx, err)
 		}
@@ -192,6 +207,7 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 		buffers: make([]seedBuffer, totalSeeds),
 		aggs:    make([]*Aggregate, len(items)),
 		started: time.Now(),
+		trace:   t,
 		cancel:  cancel,
 	}
 	for i, it := range items {
@@ -232,6 +248,7 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 	if err != nil {
 		return err
 	}
+	r.wal.onSync = m.cfg.ObserveFsync
 	defer r.wal.Close()
 
 	j.mu.Lock()
@@ -279,6 +296,7 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 	// plexes out to the group's members and reports per-seed completion in
 	// the global id space.
 	var runErr error
+	enumSpan := t.StartSpan("enumerate").Attr("groups", fmt.Sprint(len(groups)))
 	for gi := range groups {
 		opts := groups[gi].Cell
 		opts.SkipSeeds = skips[gi]
@@ -289,6 +307,7 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 			break
 		}
 	}
+	enumSpan.EndErr(runErr)
 	cancel(nil)
 	<-flusherDone
 
@@ -530,10 +549,13 @@ func (r *jobRun) flushLocked() {
 			rec.Items[i] = a.snapshot()
 		}
 	}
+	ckptSpan := r.trace.StartSpan("checkpoint").Attr("seeds", fmt.Sprint(len(r.pendingSeeds)))
 	if err := r.wal.append(rec); err != nil {
+		ckptSpan.EndErr(err)
 		r.m.cfg.Logf("jobs: %s: checkpoint write failed (retrying next flush): %v", r.j.man.ID, err)
 		return
 	}
+	ckptSpan.End()
 	r.pendingSeeds = nil
 	r.lastCkpt = time.Now()
 	r.m.counters.Checkpoints.Add(1)

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"os"
 	"strings"
+	"time"
 )
 
 // The per-job write-ahead log: an append-only NDJSON file in the job
@@ -55,6 +56,11 @@ type walRecord struct {
 type wal struct {
 	f   *os.File
 	seq int
+	// onSync, when non-nil, receives the wall-clock duration of each
+	// successful fsync — the observability feed for the fsync latency
+	// histogram. Failures are not reported: the append error path is the
+	// signal there.
+	onSync func(d time.Duration)
 }
 
 // openWAL opens (creating if needed) the job's log for appending and
@@ -91,9 +97,13 @@ func (w *wal) append(rec *walRecord) error {
 		w.f.Truncate(st.Size()) //nolint:errcheck // best effort, see above
 		return err
 	}
+	syncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		w.f.Truncate(st.Size()) //nolint:errcheck
 		return err
+	}
+	if w.onSync != nil {
+		w.onSync(time.Since(syncStart))
 	}
 	w.seq++
 	return nil

@@ -76,6 +76,9 @@ func (w *worker) runTask(t *task) {
 	w.stats.Tasks++
 	w.taskStart = time.Now()
 	w.branch(t.sg, t.P, t.C, t.X, t.sizeP)
+	if w.eng.opts.PhaseTimers {
+		w.stats.BranchNS += time.Since(w.taskStart).Nanoseconds()
+	}
 	if tr := t.sg.track; tr != nil {
 		w.settleRelease(tr)
 	}

@@ -178,6 +178,8 @@ func statsDelta(after, before Stats) Stats {
 		Steals:        after.Steals - before.Steals,
 		StealMisses:   after.StealMisses - before.StealMisses,
 		Emitted:       after.Emitted - before.Emitted,
+		SeedBuildNS:   after.SeedBuildNS - before.SeedBuildNS,
+		BranchNS:      after.BranchNS - before.BranchNS,
 	}
 	if after.MaxPlexSize > before.MaxPlexSize {
 		d.MaxPlexSize = after.MaxPlexSize

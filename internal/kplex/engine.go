@@ -99,7 +99,14 @@ func (e *engine) processSeed(w *worker, s int, emit func(*task)) {
 		w.sc = newSeedScratch(e.g.N())
 	}
 	st := e.getStorage()
+	var buildStart time.Time
+	if e.opts.PhaseTimers {
+		buildStart = time.Now()
+	}
 	sg := w.sc.build(e.g, e.prep, s, &e.opts, st, &w.stats)
+	if e.opts.PhaseTimers {
+		w.stats.SeedBuildNS += time.Since(buildStart).Nanoseconds()
+	}
 	if sg == nil {
 		// Pruned before any task existed: the group is trivially complete
 		// and its untouched storage goes straight back to the pool.

@@ -256,6 +256,15 @@ type Options struct {
 	// fail the run. A non-empty skip set changes the reported result set,
 	// and ResultKey reflects that.
 	SkipSeeds *SeedSet
+
+	// PhaseTimers enables per-phase wall-clock accounting: with it set,
+	// Stats.SeedBuildNS and Stats.BranchNS report where enumeration time
+	// went (seed-subgraph construction vs. branch-and-bound search). An
+	// execution knob like Threads: it never changes the result set and
+	// does not participate in ResultKey. Off by default so the hot path
+	// pays nothing — the cost when enabled is two monotonic clock reads
+	// per seed build and one per task, with no allocation.
+	PhaseTimers bool
 }
 
 // DefaultDenseCrossover is the N¹-size ceiling for the dense bit-parallel
@@ -403,6 +412,8 @@ type Stats struct {
 	Emitted       int64 // maximal k-plexes reported
 	MaxPlexSize   int64 // largest reported k-plex (0 when none)
 	DenseBuilds   int64 // seed groups whose peel took the dense bit-matrix path
+	SeedBuildNS   int64 // ns spent building seed subgraphs (Options.PhaseTimers only; else 0)
+	BranchNS      int64 // ns spent in branch-and-bound tasks (Options.PhaseTimers only; else 0)
 }
 
 // Add accumulates other into s.
@@ -419,6 +430,8 @@ func (s *Stats) Add(other Stats) {
 	s.StealMisses += other.StealMisses
 	s.Emitted += other.Emitted
 	s.DenseBuilds += other.DenseBuilds
+	s.SeedBuildNS += other.SeedBuildNS
+	s.BranchNS += other.BranchNS
 	if other.MaxPlexSize > s.MaxPlexSize {
 		s.MaxPlexSize = other.MaxPlexSize
 	}

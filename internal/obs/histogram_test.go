@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the le-inclusive bucketing contract:
+// a value exactly on an upper bound lands in that bucket, one epsilon
+// above lands in the next, and values beyond the last bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1} { // both <= 0.1
+		h.Observe(v)
+	}
+	h.Observe(0.100001)   // first bucket > 0.1 is le=1
+	h.Observe(10)         // exactly the last bound
+	h.Observe(10.5)       // beyond: +Inf
+	h.Observe(math.NaN()) // dropped
+
+	s := h.Snapshot()
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d: got %d want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	wantSum := 0.05 + 0.1 + 0.100001 + 10 + 10.5
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	b.Observe(1.5)
+	b.Observe(5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Snapshot()
+	if got := s.Counts; got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("merged counts = %v", got)
+	}
+	if s.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", s.Count)
+	}
+	if math.Abs(s.Sum-7.0) > 1e-9 {
+		t.Fatalf("merged sum = %g, want 7", s.Sum)
+	}
+
+	c := NewHistogram([]float64{1, 3})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge with different bounds must fail")
+	}
+	d := NewHistogram([]float64{1})
+	if err := a.Merge(d); err == nil {
+		t.Fatal("merge with different bucket counts must fail")
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines; under -race this doubles as the data-race check, and the
+// final snapshot must account for every observation exactly once.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets)
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w*perWorker+i) * 1e-5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket sum %d != count %d", total, s.Count)
+	}
+	n := float64(workers * perWorker)
+	wantSum := 1e-5 * n * (n - 1) / 2
+	if math.Abs(s.Sum-wantSum)/wantSum > 1e-9 {
+		t.Fatalf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.5, 2, 4)
+	want := []float64{0.5, 1, 2, 4}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+	// The shared layouts must satisfy NewHistogram's ascending check.
+	NewHistogram(DefaultLatencyBuckets)
+	NewHistogram(FsyncBuckets)
+	NewHistogram(LogErrorBuckets)
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 1})
+	h.ObserveDuration(500 * time.Microsecond)
+	h.ObserveSince(time.Now().Add(-10 * time.Millisecond))
+	s := h.Snapshot()
+	if s.Counts[0] != 1 || s.Counts[1] != 1 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+}

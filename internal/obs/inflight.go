@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Inflight tracks queries currently executing, backing GET /debug/queries.
+// Registration returns a handle whose progress fields are updated with
+// atomics, so engine callbacks (per-seed hooks) never contend on the
+// registry lock.
+type Inflight struct {
+	mu      sync.Mutex
+	nextID  int64
+	entries map[int64]*InflightEntry
+}
+
+// NewInflight returns an empty registry.
+func NewInflight() *Inflight {
+	return &Inflight{entries: make(map[int64]*InflightEntry)}
+}
+
+// InflightEntry is one registered in-flight query. Identity fields are
+// immutable; progress fields are atomic.
+type InflightEntry struct {
+	reg *Inflight
+
+	id      int64
+	kind    string // query | stream | batch | range
+	graph   string
+	k, q    int
+	mode    string
+	traceID string
+	started time.Time
+
+	stage       atomic.Pointer[string]
+	seedsDone   atomic.Int64
+	seedsTotal  atomic.Int64
+	predictedUS atomic.Int64 // predicted runtime in microseconds; 0 = no prediction
+}
+
+// Register adds an in-flight query and returns its handle. Call Done on
+// the handle when the query finishes (any outcome). Register on a nil
+// registry returns nil, and all handle methods are nil-safe.
+func (f *Inflight) Register(kind, graph string, k, q int, mode, traceID string) *InflightEntry {
+	if f == nil {
+		return nil
+	}
+	e := &InflightEntry{
+		reg:     f,
+		kind:    kind,
+		graph:   graph,
+		k:       k,
+		q:       q,
+		mode:    mode,
+		traceID: traceID,
+		started: time.Now(),
+	}
+	stage := "admitted"
+	e.stage.Store(&stage)
+	f.mu.Lock()
+	f.nextID++
+	e.id = f.nextID
+	f.entries[e.id] = e
+	f.mu.Unlock()
+	return e
+}
+
+// SetStage labels the pipeline stage the query is in ("admission",
+// "prepare", "enumerate", ...).
+func (e *InflightEntry) SetStage(s string) {
+	if e == nil {
+		return
+	}
+	e.stage.Store(&s)
+}
+
+// SetSeedsTotal records the seed-space size once known (after prepare).
+func (e *InflightEntry) SetSeedsTotal(n int64) {
+	if e == nil {
+		return
+	}
+	e.seedsTotal.Store(n)
+}
+
+// SeedDone increments the completed-seed counter; called from the
+// engine's OnSeedDone hook.
+func (e *InflightEntry) SeedDone() {
+	if e == nil {
+		return
+	}
+	e.seedsDone.Add(1)
+}
+
+// SetPredicted records the cost model's runtime prediction.
+func (e *InflightEntry) SetPredicted(d time.Duration) {
+	if e == nil {
+		return
+	}
+	e.predictedUS.Store(d.Microseconds())
+}
+
+// Done removes the entry from the registry.
+func (e *InflightEntry) Done() {
+	if e == nil {
+		return
+	}
+	e.reg.mu.Lock()
+	delete(e.reg.entries, e.id)
+	e.reg.mu.Unlock()
+}
+
+// QueryInfo is the JSON view of one in-flight query.
+type QueryInfo struct {
+	ID          int64   `json:"id"`
+	Kind        string  `json:"kind"`
+	Graph       string  `json:"graph"`
+	K           int     `json:"k"`
+	Q           int     `json:"q"`
+	Mode        string  `json:"mode,omitempty"`
+	TraceID     string  `json:"traceId,omitempty"`
+	Stage       string  `json:"stage"`
+	AgeMS       float64 `json:"ageMs"`
+	SeedsDone   int64   `json:"seedsDone"`
+	SeedsTotal  int64   `json:"seedsTotal"`
+	PredictedMS float64 `json:"predictedMs,omitempty"`
+}
+
+// Snapshot returns the in-flight queries, oldest first.
+func (f *Inflight) Snapshot() []QueryInfo {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	entries := make([]*InflightEntry, 0, len(f.entries))
+	for _, e := range f.entries {
+		entries = append(entries, e)
+	}
+	f.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	out := make([]QueryInfo, 0, len(entries))
+	now := time.Now()
+	for _, e := range entries {
+		out = append(out, QueryInfo{
+			ID:          e.id,
+			Kind:        e.kind,
+			Graph:       e.graph,
+			K:           e.k,
+			Q:           e.q,
+			Mode:        e.mode,
+			TraceID:     e.traceID,
+			Stage:       *e.stage.Load(),
+			AgeMS:       durationMS(now.Sub(e.started)),
+			SeedsDone:   e.seedsDone.Load(),
+			SeedsTotal:  e.seedsTotal.Load(),
+			PredictedMS: float64(e.predictedUS.Load()) / 1e3,
+		})
+	}
+	return out
+}

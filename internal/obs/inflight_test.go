@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInflightLifecycle(t *testing.T) {
+	f := NewInflight()
+	a := f.Register("query", "g1", 2, 6, "count", "tid-a")
+	b := f.Register("stream", "g2", 3, 8, "", "")
+	a.SetStage("enumerate")
+	a.SetSeedsTotal(10)
+	a.SeedDone()
+	a.SeedDone()
+	a.SetPredicted(250 * time.Millisecond)
+
+	snap := f.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	// Oldest (lowest id) first.
+	if snap[0].Kind != "query" || snap[1].Kind != "stream" {
+		t.Fatalf("order: %+v", snap)
+	}
+	qa := snap[0]
+	if qa.Graph != "g1" || qa.K != 2 || qa.Q != 6 || qa.TraceID != "tid-a" {
+		t.Fatalf("identity: %+v", qa)
+	}
+	if qa.Stage != "enumerate" || qa.SeedsDone != 2 || qa.SeedsTotal != 10 {
+		t.Fatalf("progress: %+v", qa)
+	}
+	if qa.PredictedMS != 250 {
+		t.Fatalf("predictedMs = %g", qa.PredictedMS)
+	}
+	if qa.AgeMS < 0 {
+		t.Fatalf("ageMs = %g", qa.AgeMS)
+	}
+
+	a.Done()
+	b.Done()
+	if got := f.Snapshot(); len(got) != 0 {
+		t.Fatalf("after Done: %+v", got)
+	}
+}
+
+// TestInflightConcurrent registers/updates/deregisters from many
+// goroutines while snapshots are taken; -race is the real check.
+func TestInflightConcurrent(t *testing.T) {
+	f := NewInflight()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				f.Snapshot()
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				e := f.Register("query", "g", 2, 6, "count", "")
+				e.SetStage("enumerate")
+				e.SeedDone()
+				e.Done()
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := f.Snapshot(); len(got) != 0 {
+		t.Fatalf("leaked entries: %d", len(got))
+	}
+}
+
+func TestSlowLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.ndjson")
+	sl, err := NewSlowLog(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Close()
+
+	rec := map[string]string{"graph": "g", "pad": strings.Repeat("x", 80)}
+	for i := 0; i < 10; i++ {
+		sl.Record(rec)
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("expected rotated generation: %v", err)
+	}
+	// Every surviving line must be valid standalone JSON (no torn writes
+	// across the rotation boundary).
+	for _, p := range []string{path, path + ".1"} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line == "" {
+				continue
+			}
+			if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+				t.Fatalf("%s: torn line %q", p, line)
+			}
+		}
+		if st, _ := os.Stat(p); st.Size() > 256+128 {
+			t.Fatalf("%s grew past the cap: %d bytes", p, st.Size())
+		}
+	}
+}
+
+func TestSlowLogUnmarshalableRecord(t *testing.T) {
+	dir := t.TempDir()
+	sl, err := NewSlowLog(filepath.Join(dir, "s.ndjson"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Close()
+	sl.Record(make(chan int)) // unmarshalable: silently dropped
+	sl.Record(map[string]int{"ok": 1})
+	data, _ := os.ReadFile(filepath.Join(dir, "s.ndjson"))
+	if got := strings.TrimSpace(string(data)); got != `{"ok":1}` {
+		t.Fatalf("log content = %q", got)
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// PromWriter emits Prometheus text exposition format (version 0.0.4)
+// with a # HELP and # TYPE line for every metric family — the single
+// funnel all of kplexd's /metrics output goes through, so no series can
+// ship without its metadata.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter returns a writer emitting to w. Write errors are sticky:
+// the first one is remembered and returned by Err, and later calls
+// become no-ops (a scrape client that went away needs no further work).
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter emits one counter sample. The name must already carry its
+// _total suffix (the exposition format requires the suffix on the family
+// name itself for counters in text format).
+func (p *PromWriter) Counter(name, help string, v int64) {
+	p.header(name, help, "counter")
+	p.printf("%s %d\n", name, v)
+}
+
+// Gauge emits one gauge sample.
+func (p *PromWriter) Gauge(name, help string, v int64) {
+	p.header(name, help, "gauge")
+	p.printf("%s %d\n", name, v)
+}
+
+// Histogram emits one histogram family: cumulative le-buckets, the +Inf
+// bucket, _sum and _count.
+func (p *PromWriter) Histogram(name, help string, s HistogramSnapshot) {
+	p.header(name, help, "histogram")
+	var cum int64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		p.printf("%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+	}
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	p.printf("%s_sum %g\n", name, s.Sum)
+	p.printf("%s_count %d\n", name, s.Count)
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// SlowLog appends structured NDJSON records to a file, rotating it to
+// path+".1" (replacing any previous rotation) once it exceeds maxBytes —
+// a two-generation cap that bounds disk usage without a log-management
+// dependency. A nil *SlowLog is a valid disabled log: Record no-ops.
+type SlowLog struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+}
+
+// NewSlowLog opens (appending) or creates the log file. maxBytes <= 0
+// defaults to 8 MiB per generation.
+func NewSlowLog(path string, maxBytes int64) (*SlowLog, error) {
+	if maxBytes <= 0 {
+		maxBytes = 8 << 20
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("slow-query log: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("slow-query log: %w", err)
+	}
+	return &SlowLog{path: path, maxBytes: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// Record appends one record as a JSON line. Errors are swallowed: the
+// slow-query log is diagnostic output and must never fail a query.
+func (sl *SlowLog) Record(v any) {
+	if sl == nil {
+		return
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.f == nil {
+		return
+	}
+	if sl.size+int64(len(line)) > sl.maxBytes {
+		sl.rotateLocked()
+	}
+	if n, err := sl.f.Write(line); err == nil {
+		sl.size += int64(n)
+	}
+}
+
+// rotateLocked moves the current generation to path+".1" and starts a
+// fresh file. On any failure the current file keeps growing — losing
+// rotation is better than losing the log.
+func (sl *SlowLog) rotateLocked() {
+	if err := sl.f.Close(); err != nil {
+		sl.f = nil
+	}
+	if err := os.Rename(sl.path, sl.path+".1"); err != nil {
+		// Fall through: reopen (possibly the same file) below.
+		_ = err
+	}
+	f, err := os.OpenFile(sl.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		sl.f = nil
+		return
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		sl.f = nil
+		return
+	}
+	sl.f = f
+	sl.size = st.Size()
+}
+
+// Close flushes and closes the log file.
+func (sl *SlowLog) Close() error {
+	if sl == nil {
+		return nil
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.f == nil {
+		return nil
+	}
+	err := sl.f.Close()
+	sl.f = nil
+	return err
+}

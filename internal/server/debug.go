@@ -1,0 +1,101 @@
+package server
+
+// The live introspection plane. Three JSON endpoints ride the main API
+// mux — they are cheap, read-only snapshots:
+//
+//	GET /debug/queries      in-flight queries: kind, stage, age,
+//	                        seeds done/total, predicted vs elapsed
+//	GET /debug/traces       recent finished traces (?n= caps the list)
+//	GET /debug/traces/{id}  one finished trace with all spans
+//
+// The pprof surface does NOT ride the main mux: profiles block the
+// process for seconds and belong on a loopback-only listener. kplexd
+// serves DebugHandler on -debug-addr for that.
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func (s *Server) debugRoutes() {
+	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleDebugTrace)
+}
+
+// DebugHandler returns the handler for the private debug listener
+// (kplexd's -debug-addr): the introspection endpoints plus net/http/pprof.
+// The pprof handlers are registered explicitly rather than through the
+// package's DefaultServeMux side effect, so nothing here leaks onto the
+// public API surface.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleDebugTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleDebugQueries(w http.ResponseWriter, _ *http.Request) {
+	qs := s.inflight.Snapshot()
+	if qs == nil {
+		qs = []obs.QueryInfo{} // encode as [] rather than null
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"inflight": qs})
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	if n <= 0 {
+		n = 32
+	}
+	ts := s.tracer.Recent(n)
+	if ts == nil {
+		ts = []obs.TraceData{}
+	}
+	writeJSON(w, http.StatusOK, ts)
+}
+
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	td, ok := s.tracer.Get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no such trace: evicted from the ring, not sampled, or still in flight")
+		return
+	}
+	writeJSON(w, http.StatusOK, td)
+}
+
+// slowRecord is one line of the slow-query NDJSON log.
+type slowRecord struct {
+	Time      time.Time `json:"time"` // when the request started
+	Kind      string    `json:"kind"` // query | stream | batch
+	Graph     string    `json:"graph"`
+	K         int       `json:"k,omitempty"`
+	Q         int       `json:"q,omitempty"`
+	Mode      string    `json:"mode,omitempty"`
+	Items     int       `json:"items,omitempty"` // batch only
+	TraceID   string    `json:"traceId,omitempty"`
+	ElapsedMS float64   `json:"elapsedMs"`
+}
+
+// recordSlow appends rec to the slow-query log when the elapsed time since
+// started crosses the threshold. Callers invoke it unconditionally on
+// their completion path; the fast path is two loads and a compare.
+func (s *Server) recordSlow(rec slowRecord, started time.Time) {
+	elapsed := time.Since(started)
+	if s.slow == nil || elapsed < s.cfg.SlowQueryThreshold {
+		return
+	}
+	rec.Time = started
+	rec.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	s.slow.Record(rec)
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/kplex"
+	"repro/internal/obs"
 )
 
 // queryRequest is the body of POST /query (and, field for field, the URL
@@ -80,6 +81,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /stream", s.handleStreamGet)
 	s.jobsRoutes()
 	s.clusterRoutes()
+	s.debugRoutes()
 }
 
 // writeJSON writes v with status code.
@@ -250,6 +252,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.Queries.Add(1)
+	t := obs.FromContext(r.Context())
+	started := time.Now()
+	inf := s.inflight.Register("query", req.Graph, req.K, req.Q, req.Mode, t.ID())
+	defer func() {
+		inf.Done()
+		s.hist.query.ObserveSince(started)
+		s.recordSlow(slowRecord{Kind: "query", Graph: req.Graph, K: req.K, Q: req.Q, Mode: req.Mode, TraceID: t.ID()}, started)
+	}()
 
 	entry, err := s.reg.Acquire(req.Graph)
 	if err != nil {
@@ -261,6 +271,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey(entry.Digest, &opts, &req)
 	if val, ok := s.cache.get(key); ok {
 		s.met.CacheHits.Add(1)
+		t.StartSpan("cache").Attr("hit", "true").End()
 		s.respond(w, &req, entry, val, true, false)
 		return
 	}
@@ -277,25 +288,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	flightSpan := t.StartSpan("singleflight")
 	val, fromCache, shared, err := s.flight.do(key, func() (*queryResult, bool, error) {
 		// A just-finished flight may have filled the cache between our miss
 		// and this call; re-check before paying for an enumeration.
 		if val, ok := s.cache.get(key); ok {
 			return val, true, nil
 		}
+		inf.SetStage("admission")
+		admSpan := t.StartSpan("admission")
 		release, err := s.admit(s.baseCtx)
+		admSpan.EndErr(err)
 		if err != nil {
 			return nil, false, err
 		}
 		defer release()
 		s.met.Executions.Add(1)
-		val, err := s.execute(entry, &req, opts)
+		val, err := s.execute(t, inf, entry, &req, opts)
 		if err != nil {
 			return nil, false, err
 		}
 		s.cache.put(key, val)
 		return val, false, nil
 	})
+	if shared {
+		flightSpan.Attr("shared", "true")
+	}
+	flightSpan.EndErr(err)
 	if err != nil {
 		switch {
 		case errors.Is(err, errBusy):
@@ -323,18 +342,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // even if the first asker is gone; Config.QueryTimeout is its bound and
 // Server.Close its shutdown path. The run goes through the prepared-graph
 // cache, so only the first query of a (digest, k, q) cell pays the O(n+m)
-// prologue.
-func (s *Server) execute(entry *GraphEntry, req *queryRequest, opts kplex.Options) (*queryResult, error) {
+// prologue. t and inf are the executing request's trace and in-flight
+// handle (both nil-safe); requests that share this execution through
+// singleflight see only their own "singleflight" span.
+func (s *Server) execute(t *obs.Trace, inf *obs.InflightEntry, entry *GraphEntry, req *queryRequest, opts kplex.Options) (*queryResult, error) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.QueryTimeout)
 	defer cancel()
+	inf.SetStage("prepare")
+	prepSpan := t.StartSpan("prepare").Attr("graph", req.Graph)
 	p, err := s.prepared(entry.G, entry.Digest, &opts)
+	prepSpan.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
+	inf.SetSeedsTotal(int64(p.SeedSpace()))
+	inf.SetPredicted(s.router.predict(p.CostFeatures()))
 	if req.Scheduler == "auto" {
 		tuneFor(s.router.predict(p.CostFeatures()), req.Threads, s.cfg.DefaultThreads, &opts)
 		s.met.AutoTuned.Add(1)
 	}
+	// Service executions always carry the phase timers and the per-seed
+	// progress hook: both are execution-only (never in the cache key), and
+	// their cost — two clock reads per seed build plus an atomic increment
+	// per seed — is noise against the HTTP round-trip the request already
+	// paid. The engine's direct API keeps its zero-overhead default.
+	opts.PhaseTimers = true
+	opts.OnSeedDone = func(int, kplex.Stats) { inf.SeedDone() }
+	inf.SetStage("enumerate")
+	enumSpan := t.StartSpan("enumerate").Attr("mode", req.Mode)
 	val := &queryResult{Mode: req.Mode, Digest: entry.Digest, ComputedAt: time.Now()}
 	var res kplex.Result
 	switch req.Mode {
@@ -349,8 +384,13 @@ func (s *Server) execute(entry *GraphEntry, req *queryRequest, opts kplex.Option
 		val.Histogram, res, err = kplex.SizeHistogramPrepared(ctx, p, opts)
 	}
 	if err != nil {
+		enumSpan.EndErr(err)
 		return nil, err
 	}
+	enumSpan.Attr("count", fmt.Sprint(res.Count)).
+		Attr("seedBuildMs", fmt.Sprintf("%.3f", float64(res.Stats.SeedBuildNS)/1e6)).
+		Attr("branchMs", fmt.Sprintf("%.3f", float64(res.Stats.BranchNS)/1e6)).
+		End()
 	val.Count = res.Count
 	val.MaxSize = int(res.Stats.MaxPlexSize)
 	val.Elapsed = res.Elapsed
@@ -442,10 +482,21 @@ func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
 // exactly what the streaming path exists to avoid.
 func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req *queryRequest, opts kplex.Options) {
 	s.met.Streams.Add(1)
+	t := obs.FromContext(r.Context())
+	started := time.Now()
+	inf := s.inflight.Register("stream", req.Graph, req.K, req.Q, req.Mode, t.ID())
+	defer func() {
+		inf.Done()
+		s.hist.stream.ObserveSince(started)
+		s.recordSlow(slowRecord{Kind: "stream", Graph: req.Graph, K: req.K, Q: req.Q, Mode: req.Mode, TraceID: t.ID()}, started)
+	}()
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 
+	inf.SetStage("admission")
+	admSpan := t.StartSpan("admission")
 	release, err := s.admit(ctx)
+	admSpan.EndErr(err)
 	if err != nil {
 		if errors.Is(err, errBusy) {
 			s.fail(w, http.StatusTooManyRequests, err.Error())
@@ -464,17 +515,27 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req *queryR
 	defer s.reg.Release(entry)
 
 	opts.StreamBuffer = s.cfg.StreamBuffer
+	inf.SetStage("prepare")
+	prepSpan := t.StartSpan("prepare").Attr("graph", req.Graph)
 	p, err := s.prepared(entry.G, entry.Digest, &opts)
+	prepSpan.EndErr(err)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	inf.SetSeedsTotal(int64(p.SeedSpace()))
+	inf.SetPredicted(s.router.predict(p.CostFeatures()))
 	if req.Scheduler == "auto" {
 		tuneFor(s.router.predict(p.CostFeatures()), req.Threads, s.cfg.DefaultThreads, &opts)
 		s.met.AutoTuned.Add(1)
 	}
+	opts.PhaseTimers = true
+	opts.OnSeedDone = func(int, kplex.Stats) { inf.SeedDone() }
+	inf.SetStage("enumerate")
+	streamSpan := t.StartSpan("enumerate").Attr("mode", "stream")
 	h, err := kplex.RunStreamPrepared(ctx, p, opts)
 	if err != nil {
+		streamSpan.EndErr(err)
 		s.fail(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -503,6 +564,14 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req *queryR
 		s.met.StreamsCancelled.Add(1)
 	} else {
 		s.observeCost(p.CostFeatures(), res.Elapsed)
+	}
+	// A client that disconnected mid-stream cancelled the work; that is a
+	// "cancelled" span, not a "failed" one — only a genuine engine error
+	// marks the stream failed.
+	if runErr != nil && r.Context().Err() != nil {
+		streamSpan.Attr("plexes", fmt.Sprint(lines)).EndStatus("cancelled")
+	} else {
+		streamSpan.Attr("plexes", fmt.Sprint(lines)).EndErr(runErr)
 	}
 	enc.Encode(streamSummary{ //nolint:errcheck // best effort on a dying conn
 		Done:      runErr == nil,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/kplex"
+	"repro/internal/obs"
 )
 
 // POST /batch: batched multi-query execution. A batch is a set of
@@ -118,6 +119,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	s.met.Batches.Add(1)
 	s.met.Queries.Add(int64(len(req.Items))) // each item is one query
+	t := obs.FromContext(r.Context())
+	started := time.Now()
+	inf := s.inflight.Register("batch", req.Graph, 0, 0, "batch", t.ID())
+	defer func() {
+		inf.Done()
+		s.hist.batch.ObserveSince(started)
+		s.recordSlow(slowRecord{Kind: "batch", Graph: req.Graph, Items: len(req.Items), TraceID: t.ID()}, started)
+	}()
 
 	entry, err := s.reg.Acquire(req.Graph)
 	if err != nil {
@@ -163,7 +172,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// One admission slot covers the whole batch: its groups run one
 		// after another, so a batch occupies one enumeration's worth of
 		// capacity however many items it answers.
+		inf.SetStage("admission")
+		admSpan := t.StartSpan("admission")
 		release, err = s.admit(r.Context())
+		admSpan.EndErr(err)
 		if err != nil {
 			if errors.Is(err, errBusy) {
 				s.fail(w, http.StatusTooManyRequests, err.Error())
@@ -214,6 +226,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	var runErr error
 	if len(order) > 0 {
+		inf.SetStage("enumerate")
+		enumSpan := t.StartSpan("enumerate").Attr("mode", "batch").Attr("items", strconv.Itoa(len(order)))
 		queries := make([]kplex.BatchQuery, len(order))
 		for ui, p := range order {
 			queries[ui] = batchQueryFor(&itemReqs[p.item], itemOpts[p.item])
@@ -267,6 +281,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		_, runErr = runner.Run(ctx, entry.G, queries)
 		summary.Groups = groups
+		enumSpan.Attr("groups", strconv.Itoa(groups)).EndErr(runErr)
 	}
 
 	summary.Done = runErr == nil

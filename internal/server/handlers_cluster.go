@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // The /cluster endpoints. Every kplexd is a potential worker:
@@ -93,7 +94,25 @@ func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusConflict, fmt.Sprintf("graph %q digest mismatch: coordinator expects %s, this worker has %s", req.Graph, req.Digest, e.Digest))
 		return
 	}
+
+	// A propagated Traceparent header means this lease is part of a
+	// coordinator's stitched trace. The worker records its share on a
+	// detached trace and ships the spans back on the Done line, rather
+	// than into its own ring — there the duplicated id would shadow the
+	// worker's local traces, and the coordinator is the one stitching.
+	traceID, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	var wt *obs.Trace
+	if traceID != "" {
+		wt = obs.NewTrace(fmt.Sprintf("range [%d, %d)", req.Lo, req.Hi))
+	}
+	rangeAttr := fmt.Sprintf("[%d, %d)", req.Lo, req.Hi)
+	inf := s.inflight.Register("range", req.Graph, req.K, req.Q, "", traceID)
+	defer inf.Done()
+
+	inf.SetStage("prepare")
+	prepSpan := wt.StartSpan("prepare").Attr("graph", req.Graph).Attr("range", rangeAttr)
 	p, err := s.prepared(e.G, e.Digest, &opts)
+	prepSpan.EndErr(err)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err.Error())
 		return
@@ -110,12 +129,17 @@ func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
 	// Ranges are queued work, like jobs: block for a slot rather than 429.
 	// The stream has not started yet, so the coordinator's watchdog covers
 	// a worker stuck here (no heartbeats until admission).
+	inf.SetStage("admission")
+	admSpan := wt.StartSpan("admission").Attr("range", rangeAttr)
 	release, err := s.admitJob(r.Context())
+	admSpan.EndErr(err)
 	if err != nil {
 		return // client gone while waiting; nothing to answer
 	}
 	defer release()
 	s.met.RangeRuns.Add(1)
+	inf.SetStage("enumerate")
+	inf.SetSeedsTotal(int64(req.Hi - req.Lo))
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher := ndjsonFlusher(w)
@@ -133,6 +157,7 @@ func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
 
 	var seedsDone atomic.Int64
 	start := time.Now()
+	enumSpan := wt.StartSpan("enumerate").Attr("range", rangeAttr)
 	type rangeOut struct {
 		agg *jobs.Aggregate
 		err error
@@ -141,6 +166,7 @@ func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		agg, _, err := cluster.RunRange(r.Context(), p, opts, &req, func(n int) {
 			seedsDone.Store(int64(n))
+			inf.SeedDone()
 		})
 		outc <- rangeOut{agg, err}
 	}()
@@ -156,26 +182,31 @@ func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
 		case out := <-outc:
 			if out.err != nil {
 				// The stream is underway; the error travels in-band.
+				enumSpan.EndErr(out.err)
 				s.met.Errors.Add(1)
 				emit(&cluster.RangeLine{SeedsDone: int(seedsDone.Load()), Error: out.err.Error()})
 				return
 			}
+			enumSpan.Attr("seeds", fmt.Sprint(req.Hi-req.Lo)).End()
 			out.agg.Seal()
 			emit(&cluster.RangeLine{
 				SeedsDone: int(seedsDone.Load()),
 				Done:      true,
 				Agg:       out.agg,
 				ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+				Spans:     wt.Spans(),
 			})
 			return
 		case <-tick.C:
 			if !emit(&cluster.RangeLine{SeedsDone: int(seedsDone.Load())}) {
 				// Client gone: r.Context() cancellation stops the engine;
 				// drain the goroutine before returning.
+				enumSpan.EndStatus("cancelled")
 				<-outc
 				return
 			}
 		case <-r.Context().Done():
+			enumSpan.EndStatus("cancelled")
 			<-outc
 			return
 		}

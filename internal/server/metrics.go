@@ -1,10 +1,11 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // metrics are the server's monotonic counters. They exist for operations
@@ -71,10 +72,116 @@ var promGauges = map[string]bool{
 	"cluster_jobs_queued":  true,
 }
 
+// metricHelp is the registered help string of every counter and gauge the
+// server can expose. TestMetricsHelpComplete (run as a CI lint step) fails
+// if a key served by /metrics is missing here, so a new counter cannot
+// ship without its metadata; the runtime fallback below is belt and
+// braces, not a licence to skip registration.
+var metricHelp = map[string]string{
+	"queries":           "Cacheable queries accepted (count/topk/histogram; batch items count individually).",
+	"batches":           "POST /batch requests accepted.",
+	"streams":           "Streaming queries accepted.",
+	"executions":        "Enumerations actually run for cacheable queries.",
+	"cache_hits":        "Queries answered straight from the result cache.",
+	"cache_misses":      "Queries that had to consult singleflight (shared or executed).",
+	"flight_shared":     "Queries that joined an in-flight identical query.",
+	"rejected":          "Requests turned away by admission control (429).",
+	"errors":            "Requests that ended in a 4xx/5xx other than 429.",
+	"graph_loads":       "Graph registry loads (not cache-resident reuses).",
+	"graph_evictions":   "Graph registry evictions (LRU or explicit).",
+	"streamed_plexes":   "Plexes delivered over stream responses.",
+	"streams_cancelled": "Streams ended by client disconnect or context cancellation.",
+	"prepared_hits":     "Runs served a resident prepared-graph handle.",
+	"prepared_misses":   "Runs that had to compute the prologue.",
+	"auto_tuned":        "scheduler=auto queries tuned from the cost model.",
+	"routed_async":      "route=auto queries converted into background jobs.",
+	"cost_observations": "Measured runtimes fed to the cost calibrator.",
+	"range_runs":        "Distributed seed ranges served as a cluster worker.",
+
+	"cache_entries":    "Result-cache entries currently resident.",
+	"resident_graphs":  "Graphs currently resident in the registry.",
+	"prepared_entries": "Prepared-graph prologues currently resident.",
+
+	"jobs_submitted":   "Background jobs submitted.",
+	"jobs_completed":   "Background jobs that finished successfully.",
+	"jobs_failed":      "Background jobs that failed.",
+	"jobs_cancelled":   "Background jobs cancelled.",
+	"jobs_resumed":     "Background job incarnations resumed from a checkpoint.",
+	"jobs_checkpoints": "Job checkpoint records appended to the WAL.",
+	"jobs_seeds_done":  "Seed groups completed across all background jobs.",
+	"jobs_running":     "Background jobs currently running.",
+	"jobs_queued":      "Background jobs currently queued.",
+
+	"cluster_jobs_submitted":    "Distributed jobs submitted to the coordinator.",
+	"cluster_jobs_completed":    "Distributed jobs that finished successfully.",
+	"cluster_jobs_failed":       "Distributed jobs that failed.",
+	"cluster_jobs_cancelled":    "Distributed jobs cancelled.",
+	"cluster_jobs_resumed":      "Distributed job incarnations resumed from the range WAL.",
+	"cluster_jobs_queued":       "Distributed jobs currently queued.",
+	"cluster_jobs_running":      "Distributed jobs currently running.",
+	"cluster_ranges_done":       "Seed ranges completed across all distributed jobs.",
+	"cluster_leases_reassigned": "Range leases lost to worker failure or expiry.",
+	"cluster_leases_expired":    "Range leases expired by the progress watchdog.",
+	"cluster_leases_stolen":     "Speculative straggler re-leases issued.",
+	"cluster_double_reports":    "Range completions ignored because the range was already done.",
+}
+
+// serverHists are the server's latency histograms, one per execution
+// surface plus the two durability-side timings (fsync, lease) and the cost
+// model's prediction error. All are registered in histFamilies; a
+// histogram outside that list never reaches /metrics.
+type serverHists struct {
+	query         *obs.Histogram // end-to-end cacheable /query wall-clock
+	stream        *obs.Histogram // end-to-end /stream wall-clock
+	batch         *obs.Histogram // end-to-end /batch wall-clock
+	job           *obs.Histogram // background job enumeration wall-clock
+	lease         *obs.Histogram // cluster range-lease round-trip
+	fsync         *obs.Histogram // job WAL fsync
+	admissionWait *obs.Histogram // wait for an enumeration slot (all paths)
+	costLogError  *obs.Histogram // |ln(predicted) - ln(actual)| per observation
+}
+
+func newServerHists() serverHists {
+	return serverHists{
+		query:         obs.NewHistogram(obs.DefaultLatencyBuckets),
+		stream:        obs.NewHistogram(obs.DefaultLatencyBuckets),
+		batch:         obs.NewHistogram(obs.DefaultLatencyBuckets),
+		job:           obs.NewHistogram(obs.DefaultLatencyBuckets),
+		lease:         obs.NewHistogram(obs.DefaultLatencyBuckets),
+		fsync:         obs.NewHistogram(obs.FsyncBuckets),
+		admissionWait: obs.NewHistogram(obs.DefaultLatencyBuckets),
+		costLogError:  obs.NewHistogram(obs.LogErrorBuckets),
+	}
+}
+
+// histFamily pairs one histogram with its exposition metadata.
+type histFamily struct {
+	name, help string
+	h          *obs.Histogram
+}
+
+// histFamilies lists every exposed histogram. The help strings double as
+// the registration TestMetricsHelpComplete checks.
+func (s *Server) histFamilies() []histFamily {
+	return []histFamily{
+		{"kplexd_query_duration_seconds", "End-to-end wall-clock of cacheable /query requests, cache hits included.", s.hist.query},
+		{"kplexd_stream_duration_seconds", "End-to-end wall-clock of /stream responses, transfer included.", s.hist.stream},
+		{"kplexd_batch_duration_seconds", "End-to-end wall-clock of /batch requests.", s.hist.batch},
+		{"kplexd_job_duration_seconds", "Cumulative enumeration wall-clock of completed background jobs.", s.hist.job},
+		{"kplexd_lease_duration_seconds", "Round-trip of one successful cluster range lease (dispatch to merge-ready).", s.hist.lease},
+		{"kplexd_wal_fsync_duration_seconds", "Job checkpoint WAL fsync latency.", s.hist.fsync},
+		{"kplexd_admission_wait_seconds", "Time spent waiting for an enumeration slot (queries, streams, batches, jobs, ranges).", s.hist.admissionWait},
+		{"kplexd_cost_model_log_error", "Absolute natural-log error of the calibrated cost model per observed runtime (0.7 is roughly a factor of two).", s.hist.costLogError},
+	}
+}
+
 // handleMetricsProm serves GET /metrics in the Prometheus text exposition
-// format: every /stats counter plus the occupancy gauges and, when the job
-// subsystem is enabled, its counters and gauges — so the JSON endpoint
-// stays for humans and scripts while scrapers get the standard format.
+// format: every /stats counter plus the occupancy gauges, the job and
+// cluster subsystems' counters when enabled, and the latency histograms —
+// so the JSON endpoint stays for humans and scripts while scrapers get the
+// standard format. All output funnels through obs.PromWriter, which emits
+// a # HELP and # TYPE line per family (a scrape-parse test holds it to
+// that).
 func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
 	snap := s.Metrics()
 	snap["cache_entries"] = int64(s.cache.len())
@@ -88,11 +195,19 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
 	sort.Strings(names)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pw := obs.NewPromWriter(w)
 	for _, name := range names {
-		metric, kind := "kplexd_"+name+"_total", "counter"
-		if promGauges[name] {
-			metric, kind = "kplexd_"+name, "gauge"
+		help := metricHelp[name]
+		if help == "" {
+			help = "kplexd metric " + name + " (help string not registered)."
 		}
-		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", metric, kind, metric, snap[name])
+		if promGauges[name] {
+			pw.Gauge("kplexd_"+name, help, snap[name])
+		} else {
+			pw.Counter("kplexd_"+name+"_total", help, snap[name])
+		}
+	}
+	for _, f := range s.histFamilies() {
+		pw.Histogram(f.name, f.help, f.h.Snapshot())
 	}
 }

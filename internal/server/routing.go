@@ -102,8 +102,16 @@ func (cr *costRouter) observations() int64 {
 
 // observeCost feeds one completed run's measured cost into the calibrator.
 // It is the single funnel for every execution path: cacheable queries,
-// streams, and (wired as jobs.Config.ObserveCost) background jobs.
+// streams, and (wired as jobs.Config.ObserveCost) background jobs. The
+// prediction error is histogrammed before the observation is folded in, so
+// the metric reflects the model as it actually served — each sample scored
+// against the calibration state that produced its routing decision.
 func (s *Server) observeCost(f kplex.CostFeatures, elapsed time.Duration) {
+	if elapsed <= 0 {
+		elapsed = time.Microsecond
+	}
+	pred := s.router.predict(f)
+	s.hist.costLogError.Observe(math.Abs(math.Log(pred.Seconds()) - math.Log(elapsed.Seconds())))
 	s.router.observe(f, elapsed)
 	s.met.CostObservations.Add(1)
 }

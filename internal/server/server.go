@@ -13,6 +13,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/jobs"
 	"repro/internal/kplex"
+	"repro/internal/obs"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -117,6 +119,33 @@ type Config struct {
 	// ClusterMaxRangeAttempts fails a job once one range has lost this
 	// many leases (default 8).
 	ClusterMaxRangeAttempts int
+
+	// Logf receives kplexd's structured operational log lines (admission
+	// stalls, slow-query-log failures). Default log.Printf.
+	Logf func(format string, args ...any)
+	// TraceCapacity is how many finished traces the /debug/traces ring
+	// keeps before evicting the oldest (default 256).
+	TraceCapacity int
+	// TraceSampleEvery traces 1 in N interactive requests (default 1:
+	// trace everything; the ring bounds memory, not the sample rate).
+	// Background jobs and distributed jobs are always traced — they are
+	// rare and expensive, exactly the requests worth keeping.
+	TraceSampleEvery int
+	// SlowQueryLog is the path of the slow-query NDJSON log; empty
+	// disables it. The log rotates to <path>.1 past SlowQueryLogMaxBytes.
+	SlowQueryLog string
+	// SlowQueryLogMaxBytes caps one slow-log generation (default 8 MiB).
+	SlowQueryLogMaxBytes int64
+	// SlowQueryThreshold is the wall-clock at which a query, stream or
+	// batch earns a slow-query-log record (default 1s).
+	SlowQueryThreshold time.Duration
+	// AdmissionWarnAfter emits a structured warning once queued work (a
+	// background job or a leased range) has waited this long for an
+	// enumeration slot. Default ClusterLeaseTimeout when set, else 15s: a
+	// leased range stalled in admission sends no heartbeats, so a wait
+	// past the lease timeout is exactly when the coordinator starts
+	// reassigning this worker's leases and an operator needs the signal.
+	AdmissionWarnAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +188,25 @@ func (c Config) withDefaults() Config {
 	if c.RouteAsyncThreshold <= 0 {
 		c.RouteAsyncThreshold = 30 * time.Second
 	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = 256
+	}
+	if c.TraceSampleEvery <= 0 {
+		c.TraceSampleEvery = 1
+	}
+	if c.SlowQueryThreshold <= 0 {
+		c.SlowQueryThreshold = time.Second
+	}
+	if c.AdmissionWarnAfter <= 0 {
+		if c.ClusterLeaseTimeout > 0 {
+			c.AdmissionWarnAfter = c.ClusterLeaseTimeout
+		} else {
+			c.AdmissionWarnAfter = 15 * time.Second
+		}
+	}
 	return c
 }
 
@@ -178,6 +226,11 @@ type Server struct {
 	cluster *cluster.Coordinator // nil when Config.ClusterDir is empty
 	baseCtx context.Context
 	stop    context.CancelFunc
+
+	tracer   *obs.Tracer
+	inflight *obs.Inflight
+	slow     *obs.SlowLog // nil when Config.SlowQueryLog is empty
+	hist     serverHists
 }
 
 // New builds a Server from cfg (see Config for defaults). The only
@@ -186,13 +239,23 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		reg:    NewRegistry(cfg.MaxResidentGraphs, NewLoader(cfg.DataDir)),
-		cache:  newResultCache(cfg.CacheEntries),
-		prep:   newPreparedCache(cfg.PreparedEntries),
-		sem:    make(chan struct{}, cfg.MaxConcurrent),
-		mux:    http.NewServeMux(),
-		router: newCostRouter(),
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.MaxResidentGraphs, NewLoader(cfg.DataDir)),
+		cache:    newResultCache(cfg.CacheEntries),
+		prep:     newPreparedCache(cfg.PreparedEntries),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		mux:      http.NewServeMux(),
+		router:   newCostRouter(),
+		tracer:   obs.NewTracer(cfg.TraceCapacity, cfg.TraceSampleEvery),
+		inflight: obs.NewInflight(),
+		hist:     newServerHists(),
+	}
+	if cfg.SlowQueryLog != "" {
+		sl, err := obs.NewSlowLog(cfg.SlowQueryLog, cfg.SlowQueryLogMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.slow = sl
 	}
 	s.reg.setHooks(
 		func() { s.met.GraphLoads.Add(1) },
@@ -211,6 +274,9 @@ func New(cfg Config) (*Server, error) {
 			DefaultThreads:     cfg.DefaultThreads,
 			Admit:              s.admitJob,
 			ObserveCost:        s.observeCost,
+			Tracer:             s.tracer,
+			ObserveFsync:       s.hist.fsync.ObserveDuration,
+			ObserveJob:         s.hist.job.ObserveDuration,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("opening job subsystem: %w", err)
@@ -228,6 +294,8 @@ func New(cfg Config) (*Server, error) {
 			RangesPerWorker:  cfg.ClusterRangesPerWorker,
 			MaxRangeAttempts: cfg.ClusterMaxRangeAttempts,
 			MaxTopN:          cfg.MaxTopN,
+			Tracer:           s.tracer,
+			ObserveLease:     s.hist.lease.ObserveDuration,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("opening cluster coordinator: %w", err)
@@ -263,20 +331,65 @@ func (s *Server) jobPrepared(g *graph.Graph, digest string, opts kplex.Options) 
 	return s.prepared(g, digest, &opts)
 }
 
-// admitJob takes an enumeration slot for a background job. Unlike the
-// interactive path there is no 429: jobs are queued work by definition, so
-// they wait for capacity (or until the job is cancelled).
+// admitJob takes an enumeration slot for a background job or a leased
+// seed range. Unlike the interactive path there is no 429: jobs are queued
+// work by definition, so they wait for capacity (or until the job is
+// cancelled). The wait is never silent: it feeds the admission-wait
+// histogram, and once it crosses Config.AdmissionWarnAfter a structured
+// warning is logged — a leased range stalled here sends no heartbeats, so
+// a long wait is the usual prelude to the coordinator expiring the lease.
 func (s *Server) admitJob(ctx context.Context) (func(), error) {
-	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	start := time.Now()
+	warn := time.NewTimer(s.cfg.AdmissionWarnAfter)
+	defer warn.Stop()
+	for {
+		select {
+		case s.sem <- struct{}{}:
+			s.hist.admissionWait.ObserveSince(start)
+			return func() { <-s.sem }, nil
+		case <-ctx.Done():
+			s.hist.admissionWait.ObserveSince(start)
+			return nil, ctx.Err()
+		case <-warn.C:
+			s.cfg.Logf(`{"level":"warn","msg":"queued work waiting on admission","waitedMs":%.0f,"warnAfterMs":%.0f,"maxConcurrent":%d}`,
+				float64(time.Since(start))/float64(time.Millisecond),
+				float64(s.cfg.AdmissionWarnAfter)/float64(time.Millisecond),
+				s.cfg.MaxConcurrent)
+		}
 	}
 }
 
 // Handler returns the HTTP handler serving all endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.withObs(s.mux) }
+
+// withObs wraps the API mux with request tracing: the enumeration
+// endpoints get a (sampled) trace carried in the request context, with the
+// id echoed in the X-Trace-Id response header so a caller can fetch
+// /debug/traces/{id} afterwards. Everything else — health checks, listings,
+// metrics — passes through untouched; tracing them would churn the ring
+// without diagnostic value. The ResponseWriter is deliberately not
+// wrapped: a wrapper would hide http.Flusher from the NDJSON endpoints
+// (see ndjsonFlusher).
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/query", "/stream", "/batch":
+		default:
+			next.ServeHTTP(w, r)
+			return
+		}
+		t := s.tracer.Start(r.Method + " " + r.URL.Path)
+		if t != nil {
+			w.Header().Set("X-Trace-Id", t.ID())
+			r = r.WithContext(obs.ContextWith(r.Context(), t))
+			defer t.Finish()
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Tracer exposes the trace ring (tests and debug tooling).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Registry exposes the graph registry (tests and the preload path).
 func (s *Server) Registry() *Registry { return s.reg }
@@ -310,16 +423,19 @@ func (s *Server) Close() {
 		s.jobs.Close()
 	}
 	s.stop()
+	s.slow.Close() //nolint:errcheck // diagnostic output; nothing to do on failure
 }
 
 // admit blocks until an enumeration slot is free, the client gives up, or
 // the admission timeout passes. The returned release must be called once
 // admit succeeds.
 func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	start := time.Now()
 	t := time.NewTimer(s.cfg.AdmissionTimeout)
 	defer t.Stop()
 	select {
 	case s.sem <- struct{}{}:
+		s.hist.admissionWait.ObserveSince(start)
 		return func() { <-s.sem }, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
