@@ -9,6 +9,7 @@
 //	gengraph -model ba -n 5000 -m 8 > ba.txt
 //	gengraph -model rmat -scale 14 -edgefactor 8 > rmat.txt
 //	gengraph -model planted -n 2000 -communities 20 -commsize 15 -drop 2 > pl.txt
+//	gengraph -model rmat -scale 20 -o big.kpg   # write the mmap store format directly
 //	gengraph -list    # show suite dataset names and stats
 package main
 
@@ -16,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/store"
 )
 
 func main() {
@@ -40,6 +43,7 @@ func main() {
 		overlap     = flag.Int("overlap", 0, "planted overlap between consecutive communities")
 		seed        = flag.Int64("seed", 1, "random seed")
 		binOut      = flag.Bool("binary", false, "emit the compact binary format instead of text")
+		out         = flag.String("o", "", "write to this file instead of stdout; a .kpg suffix selects the mmap store format")
 	)
 	flag.Parse()
 
@@ -80,11 +84,29 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "generated: %s\n", graph.ComputeStats(g))
+	if strings.HasSuffix(*out, store.StoreExt) {
+		if err := store.WriteGraphFile(*out, g, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "gengraph:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (digest %s)\n", *out, graph.DigestHexOf(g)[:16])
+		return
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gengraph:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
 	write := graph.WriteEdgeList
 	if *binOut {
 		write = graph.WriteBinary
 	}
-	if err := write(os.Stdout, g); err != nil {
+	if err := write(dst, g); err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
 		os.Exit(1)
 	}

@@ -13,10 +13,12 @@
 //	kplexbench -ext prepare    # extension: prepared-graph prologue amortization
 //	kplexbench -ext batch      # extension: batched q-sweep amortization
 //	kplexbench -ext kernels    # extension: dense-vs-merge seed kernels
+//	kplexbench -ext store      # extension: out-of-core graph store
 //	kplexbench -json FILE      # write the selected extension's machine-readable
 //	                           # snapshot to FILE; alone it implies -ext jobs
 //	                           # (defaults: BENCH_jobs.json / BENCH_prepare.json /
-//	                           # BENCH_batch.json / BENCH_kernels.json)
+//	                           # BENCH_batch.json / BENCH_kernels.json /
+//	                           # BENCH_store.json)
 //	kplexbench -quick ...      # representative subset, ~1 minute total
 //	kplexbench -threads 8 ...  # worker count for the parallel experiments
 package main
@@ -35,7 +37,7 @@ func main() {
 	var (
 		table    = flag.Int("table", 0, "regenerate one table (2-7)")
 		figure   = flag.Int("figure", 0, "regenerate one figure (7, 8, 9, 13)")
-		ext      = flag.String("ext", "", "extension experiment: ubcolor, maximum, scheduler, jobs, prepare, batch or kernels")
+		ext      = flag.String("ext", "", "extension experiment: ubcolor, maximum, scheduler, jobs, prepare, batch, kernels or store")
 		all      = flag.Bool("all", false, "regenerate everything")
 		quick    = flag.Bool("quick", false, "representative subset only")
 		threads  = flag.Int("threads", 0, "parallel worker count (default min(16, CPUs))")
@@ -60,6 +62,10 @@ func main() {
 	kernelsJSON := *jsonPath
 	if kernelsJSON == "" {
 		kernelsJSON = "BENCH_kernels.json"
+	}
+	storeJSON := *jsonPath
+	if storeJSON == "" {
+		storeJSON = "BENCH_store.json"
 	}
 
 	type job struct {
@@ -87,12 +93,13 @@ func main() {
 		"prepare":   {name: "Prepared-graph amortization (extension)", run: func() error { return cfg.PrepareBench(prepareJSON) }, ext: true},
 		"batch":     {name: "Batched-sweep amortization (extension)", run: func() error { return cfg.BatchBench(batchJSON) }, ext: true},
 		"kernels":   {name: "Seed-kernel dense-vs-merge (extension)", run: func() error { return cfg.KernelsBench(kernelsJSON) }, ext: true},
+		"store":     {name: "Out-of-core graph store (extension)", run: func() error { return cfg.StoreBench(storeJSON) }, ext: true},
 	}
 	order := []string{
 		"table2", "table3", "figure7", "table4", "figure8",
 		"table5", "table6", "figure9", "figure13", "figure14",
 		"figure15", "table7", "ubcolor", "maximum", "scheduler",
-		"jobs", "prepare", "batch", "kernels",
+		"jobs", "prepare", "batch", "kernels", "store",
 	}
 
 	var selected []string

@@ -32,7 +32,8 @@
 // net/http/pprof under /debug/pprof/.
 //
 // Graph names are file paths under -data (any supported format,
-// auto-detected) or builtin corpus graphs ("corpus:planted-a", ...).
+// auto-detected; *.kpg served mmap-backed), names registered in the
+// -catalog directory, or builtin corpus graphs ("corpus:planted-a", ...).
 //
 // Example:
 //
@@ -80,6 +81,7 @@ func run() error {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		dataDir      = flag.String("data", "", "directory graph files are served from (empty: corpus graphs only)")
+		catalogDir   = flag.String("catalog", "", "persistent graph catalog directory: registered .kpg stores are served mmap-backed and run prologues persist across restarts (empty: disabled)")
 		jobsDir      = flag.String("jobs", "", "directory for durable background jobs (empty: /jobs endpoints disabled)")
 		jobWorkers   = flag.Int("job-workers", 2, "concurrently running background jobs")
 		maxGraphs    = flag.Int("max-graphs", 8, "resident graph cap (idle graphs beyond it are evicted LRU)")
@@ -115,6 +117,7 @@ func run() error {
 
 	srv, err := server.New(server.Config{
 		DataDir:             *dataDir,
+		CatalogDir:          *catalogDir,
 		JobsDir:             *jobsDir,
 		JobWorkers:          *jobWorkers,
 		MaxResidentGraphs:   *maxGraphs,
@@ -207,7 +210,7 @@ func run() error {
 	if *coordinator {
 		role = fmt.Sprintf("coordinator (%d workers)", len(workerURLs))
 	}
-	log.Printf("kplexd listening on %s (data=%q jobs=%q cluster=%s)", *addr, *dataDir, *jobsDir, role)
+	log.Printf("kplexd listening on %s (data=%q catalog=%q jobs=%q cluster=%s)", *addr, *dataDir, *catalogDir, *jobsDir, role)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

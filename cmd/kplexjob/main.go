@@ -303,16 +303,17 @@ func waitAndReport(b backend, id string) error {
 }
 
 // localLoader resolves graph names the same way kplexd does ("corpus:*"
-// builtins, otherwise files under dataDir) and stamps the content digest
-// the checkpoint identity check needs.
+// builtins, otherwise files under dataDir, *.kpg served mmap-backed) and
+// stamps the content digest the checkpoint identity check needs — read
+// from the store header when the graph is store-backed, never rehashed.
 func localLoader(dataDir string) jobs.GraphLoader {
-	load := server.NewLoader(dataDir)
-	return func(name string) (*graph.Graph, string, func(), error) {
+	load := server.NewLoader(dataDir, nil)
+	return func(name string) (graph.CSR, string, func(), error) {
 		g, err := load(name)
 		if err != nil {
 			return nil, "", nil, err
 		}
-		return g, graph.DigestHex(g), func() {}, nil
+		return g, graph.DigestHexOf(g), func() {}, nil
 	}
 }
 

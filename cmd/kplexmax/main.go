@@ -39,7 +39,7 @@ func main() {
 	}
 	g := rr.Graph
 	if *ctcp {
-		g = kplex.ReduceCTCP(g, *k, 2**k-1)
+		g = graph.Materialize(kplex.ReduceCTCP(g, *k, 2**k-1))
 	}
 	fmt.Fprintf(os.Stderr, "graph: %s\n", graph.ComputeStats(g))
 

@@ -145,7 +145,7 @@ func (c *Config) JobsBench(jsonPath string) error {
 			Workers:         1,
 			CheckpointSeeds: checkpointSeeds,
 			DefaultThreads:  threads,
-			Load: func(string) (*graph.Graph, string, func(), error) {
+			Load: func(string) (graph.CSR, string, func(), error) {
 				return g, graphName, func() {}, nil
 			},
 		})

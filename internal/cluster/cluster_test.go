@@ -20,7 +20,7 @@ import (
 
 // testLoader resolves "corpus:<name>" against the builtin corpus, the
 // same contract the coordinator's host wires in.
-func testLoader(name string) (*graph.Graph, string, func(), error) {
+func testLoader(name string) (graph.CSR, string, func(), error) {
 	cg := gen.CorpusGraphByName(strings.TrimPrefix(name, "corpus:"))
 	if cg == nil {
 		return nil, "", nil, fmt.Errorf("unknown graph %q", name)

@@ -35,7 +35,7 @@ type Config struct {
 	Load GraphLoader
 	// Prepare resolves the run prologue, typically through the host's
 	// prepared-graph cache. Nil falls back to a direct kplex.Prepare.
-	Prepare func(g *graph.Graph, digest string, opts kplex.Options) (*kplex.Prepared, error)
+	Prepare func(g graph.CSR, digest string, opts kplex.Options) (*kplex.Prepared, error)
 	// Workers is the initial set of worker base URLs; more can join at
 	// runtime through AddWorker.
 	Workers []string
@@ -76,7 +76,7 @@ type Config struct {
 
 func (cfg Config) withDefaults() Config {
 	if cfg.Prepare == nil {
-		cfg.Prepare = func(g *graph.Graph, _ string, opts kplex.Options) (*kplex.Prepared, error) {
+		cfg.Prepare = func(g graph.CSR, _ string, opts kplex.Options) (*kplex.Prepared, error) {
 			return kplex.Prepare(g, opts)
 		}
 	}

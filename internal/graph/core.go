@@ -18,7 +18,7 @@ type CoreDecomposition struct {
 }
 
 // Cores computes the core decomposition of g by bucket peeling.
-func Cores(g *Graph) *CoreDecomposition {
+func Cores(g CSR) *CoreDecomposition {
 	n := g.N()
 	cd := &CoreDecomposition{
 		Coreness: make([]int32, n),
@@ -86,13 +86,15 @@ func Cores(g *Graph) *CoreDecomposition {
 }
 
 // Degeneracy returns D, the degeneracy of g.
-func Degeneracy(g *Graph) int { return Cores(g).Degeneracy }
+func Degeneracy(g CSR) int { return Cores(g).Degeneracy }
 
 // KCore returns the subgraph induced by vertices of coreness >= k, together
 // with the mapping from new ids to original ids. Theorem 3.5: every k-plex
 // with at least q vertices is contained in the (q-k)-core, so the enumerator
-// calls KCore(g, q-k) before doing anything else.
-func KCore(g *Graph, k int) (sub *Graph, origID []int32) {
+// calls KCore(g, q-k) before doing anything else. For k <= 0 the input is
+// returned as-is (identity mapping), so an out-of-core source is never
+// materialized just to be copied.
+func KCore(g CSR, k int) (sub CSR, origID []int32) {
 	if k <= 0 {
 		ids := make([]int32, g.N())
 		for i := range ids {
@@ -107,14 +109,14 @@ func KCore(g *Graph, k int) (sub *Graph, origID []int32) {
 			keep = append(keep, v)
 		}
 	}
-	return g.InducedSubgraph(keep)
+	return InducedSubgraphOf(g, keep)
 }
 
 // DegeneracyOrderedCopy relabels g so that vertex i is the i-th vertex of
 // the degeneracy ordering. The enumerator works on this copy: "later than
 // v_i in η" then becomes the simple comparison u > i. origID maps new ids
 // back to g's ids.
-func DegeneracyOrderedCopy(g *Graph) (relabeled *Graph, origID []int32) {
+func DegeneracyOrderedCopy(g CSR) (relabeled *Graph, origID []int32) {
 	cd := Cores(g)
 	n := g.N()
 	origID = make([]int32, n)

@@ -21,7 +21,7 @@ func Digest(g *Graph) [32]byte {
 	return g.digest
 }
 
-func computeDigest(g *Graph) [32]byte {
+func computeDigest(g CSR) [32]byte {
 	h := sha256.New()
 	var buf [2 * binary.MaxVarintLen64]byte
 	n := g.N()
@@ -49,5 +49,27 @@ func computeDigest(g *Graph) [32]byte {
 // DigestHex returns Digest as a lowercase hex string.
 func DigestHex(g *Graph) string {
 	d := Digest(g)
+	return hex.EncodeToString(d[:])
+}
+
+// DigestOf returns the content digest of any CSR source. An in-memory
+// *Graph memoizes the hash; a source that carries a precomputed digest
+// (StoredDigester — the on-disk store keeps one in its header) answers
+// without touching the adjacency at all; anything else is hashed by
+// streaming its rows through the same canonical encoding, so every path
+// yields the same identity for the same graph content.
+func DigestOf(g CSR) [32]byte {
+	switch t := g.(type) {
+	case *Graph:
+		return Digest(t)
+	case StoredDigester:
+		return t.StoredDigest()
+	}
+	return computeDigest(g)
+}
+
+// DigestHexOf returns DigestOf as a lowercase hex string.
+func DigestHexOf(g CSR) string {
+	d := DigestOf(g)
 	return hex.EncodeToString(d[:])
 }

@@ -190,6 +190,13 @@ func (g *Graph) Edges() []Edge {
 // InducedSubgraph returns the subgraph induced by keep (which need not be
 // sorted), along with origID mapping new vertex ids to original ids.
 func (g *Graph) InducedSubgraph(keep []int) (sub *Graph, origID []int32) {
+	return InducedSubgraphOf(g, keep)
+}
+
+// InducedSubgraphOf is InducedSubgraph over any CSR source: the kept rows
+// are read through the interface, so a paged on-disk graph is reduced to
+// an in-memory core without ever materializing the full adjacency.
+func InducedSubgraphOf(g CSR, keep []int) (sub *Graph, origID []int32) {
 	newID := make([]int32, g.N())
 	for i := range newID {
 		newID[i] = -1

@@ -20,7 +20,7 @@ type Prepared struct {
 // Prepare builds the enumeration view of g: restrict to the minCore-core
 // (Theorem 3.5 with minCore = q-k), relabel by degeneracy order, and
 // precompute the later-neighbour offsets the seed decomposition consumes.
-func Prepare(g *Graph, minCore int) *Prepared {
+func Prepare(g CSR, minCore int) *Prepared {
 	core, coreID := KCore(g, minCore)
 	cd := Cores(core)
 	n := core.N()

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Prepared-handle serialization. A Prepared is the O(n+m) run prologue —
+// exactly the thing a persistent catalog wants to keep warm across
+// restarts — so it has a compact binary form: the relabelled working
+// graph's rows in the canonical delta+varint encoding, followed by the
+// toInput mapping, the later-neighbour offsets and the coreness array.
+// The encoding carries no framing or checksum of its own; the kplex layer
+// wraps it with version, options cell, source digest and CRC.
+
+// EncodePrepared appends p's binary form to dst and returns it.
+func EncodePrepared(dst []byte, p *Prepared) []byte {
+	n := p.g.N()
+	var buf [binary.MaxVarintLen64]byte
+	w := binary.PutUvarint(buf[:], uint64(n))
+	dst = append(dst, buf[:w]...)
+	for v := 0; v < n; v++ {
+		row := p.g.Neighbors(v)
+		w = binary.PutUvarint(buf[:], uint64(len(row)))
+		dst = append(dst, buf[:w]...)
+		prev := int32(0)
+		for _, u := range row {
+			w = binary.PutUvarint(buf[:], uint64(u-prev))
+			dst = append(dst, buf[:w]...)
+			prev = u
+		}
+	}
+	for _, arr := range [][]int32{p.toInput, p.laterOff, p.coreness} {
+		for _, x := range arr {
+			w = binary.PutUvarint(buf[:], uint64(x))
+			dst = append(dst, buf[:w]...)
+		}
+	}
+	return dst
+}
+
+// DecodePrepared parses a handle written by EncodePrepared. Structural
+// invariants (sorted rows, ranges, offsets) are validated so a corrupt
+// prologue file is rejected instead of poisoning the seed pipeline.
+func DecodePrepared(data []byte) (*Prepared, error) {
+	pos := 0
+	read := func() (uint64, error) {
+		v, w := binary.Uvarint(data[pos:])
+		if w <= 0 {
+			return 0, fmt.Errorf("graph: prepared decode: truncated at byte %d", pos)
+		}
+		pos += w
+		return v, nil
+	}
+	n64, err := read()
+	if err != nil {
+		return nil, err
+	}
+	if n64 > 1<<31 {
+		return nil, fmt.Errorf("graph: prepared decode: implausible n=%d", n64)
+	}
+	n := int(n64)
+	offsets := make([]int32, n+1)
+	var adj []int32
+	for v := 0; v < n; v++ {
+		deg, err := read()
+		if err != nil {
+			return nil, err
+		}
+		if deg > n64 {
+			return nil, fmt.Errorf("graph: prepared decode: vertex %d degree %d exceeds n", v, deg)
+		}
+		prev := int64(-1)
+		for j := uint64(0); j < deg; j++ {
+			delta, err := read()
+			if err != nil {
+				return nil, err
+			}
+			var u int64
+			if prev < 0 {
+				u = int64(delta)
+			} else {
+				if delta == 0 {
+					return nil, fmt.Errorf("graph: prepared decode: vertex %d: duplicate neighbour", v)
+				}
+				u = prev + int64(delta)
+			}
+			if u >= int64(n) || u == int64(v) {
+				return nil, fmt.Errorf("graph: prepared decode: vertex %d: invalid neighbour %d", v, u)
+			}
+			adj = append(adj, int32(u))
+			prev = u
+		}
+		offsets[v+1] = int32(len(adj))
+	}
+	p := &Prepared{
+		g:        &Graph{offsets: offsets, adj: adj},
+		toInput:  make([]int32, n),
+		laterOff: make([]int32, n),
+		coreness: make([]int32, n),
+	}
+	for _, arr := range [][]int32{p.toInput, p.laterOff, p.coreness} {
+		for i := range arr {
+			x, err := read()
+			if err != nil {
+				return nil, err
+			}
+			if x > 1<<31 {
+				return nil, fmt.Errorf("graph: prepared decode: array value %d out of range", x)
+			}
+			arr[i] = int32(x)
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("graph: prepared decode: %d trailing bytes", len(data)-pos)
+	}
+	for v := 0; v < n; v++ {
+		if d := offsets[v+1] - offsets[v]; p.laterOff[v] > d {
+			return nil, fmt.Errorf("graph: prepared decode: vertex %d laterOff %d exceeds degree %d", v, p.laterOff[v], d)
+		}
+	}
+	return p, nil
+}

@@ -11,12 +11,14 @@ type Stats struct {
 	Degeneracy int
 }
 
-// ComputeStats returns the Table-2 statistics for g.
-func ComputeStats(g *Graph) Stats {
+// ComputeStats returns the Table-2 statistics for g. It accepts any CSR
+// source, so the on-disk store's paged reader can be profiled without
+// loading the graph into memory.
+func ComputeStats(g CSR) Stats {
 	return Stats{
 		N:          g.N(),
 		M:          g.M(),
-		MaxDegree:  g.MaxDegree(),
+		MaxDegree:  MaxDegreeOf(g),
 		Degeneracy: Degeneracy(g),
 	}
 }

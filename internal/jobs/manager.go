@@ -204,7 +204,7 @@ type View struct {
 
 // GraphLoader resolves a job's graph name. release must be called when the
 // run is over (registry-backed hosts use it to unpin the graph).
-type GraphLoader func(name string) (g *graph.Graph, digest string, release func(), err error)
+type GraphLoader func(name string) (g graph.CSR, digest string, release func(), err error)
 
 // Config tunes a Manager. Dir and Load are required.
 type Config struct {
@@ -218,7 +218,7 @@ type Config struct {
 	// shares the cache its interactive queries use). When nil, the runner
 	// prepares directly — still only once per incarnation, shared between
 	// the seed-space check and the enumeration.
-	Prepare func(g *graph.Graph, digest string, opts kplex.Options) (*kplex.Prepared, error)
+	Prepare func(g graph.CSR, digest string, opts kplex.Options) (*kplex.Prepared, error)
 	// Workers is the number of concurrent jobs (default 2).
 	Workers int
 	// CheckpointSeeds flushes a WAL record once this many seeds completed

@@ -16,7 +16,7 @@ import (
 )
 
 // testLoader resolves "corpus:<name>" against the builtin corpus.
-func testLoader(name string) (*graph.Graph, string, func(), error) {
+func testLoader(name string) (graph.CSR, string, func(), error) {
 	cg := gen.CorpusGraphByName(strings.TrimPrefix(name, "corpus:"))
 	if cg == nil {
 		return nil, "", nil, fmt.Errorf("unknown graph %q", name)
@@ -272,7 +272,7 @@ func TestShutdownResume(t *testing.T) {
 	m1 := openTestManager(t, dir, func(c *Config) {
 		c.CheckpointSeeds = 2
 		load := c.Load
-		c.Load = func(name string) (*graph.Graph, string, func(), error) {
+		c.Load = func(name string) (graph.CSR, string, func(), error) {
 			select {
 			case started <- struct{}{}:
 			default:
@@ -480,7 +480,7 @@ func TestPriorityOrdering(t *testing.T) {
 func TestDigestMismatchFailsResume(t *testing.T) {
 	dir := t.TempDir()
 	which := "corpus:planted-a"
-	loader := func(name string) (*graph.Graph, string, func(), error) {
+	loader := func(name string) (graph.CSR, string, func(), error) {
 		return testLoader(which)
 	}
 	m1 := openTestManager(t, dir, func(c *Config) {

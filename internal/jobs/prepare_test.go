@@ -16,7 +16,7 @@ func TestJobUsesPreparedHook(t *testing.T) {
 	dir := t.TempDir()
 	var prepares atomic.Int64
 	m := openTestManager(t, dir, func(c *Config) {
-		c.Prepare = func(g *graph.Graph, digest string, opts kplex.Options) (*kplex.Prepared, error) {
+		c.Prepare = func(g graph.CSR, digest string, opts kplex.Options) (*kplex.Prepared, error) {
 			if digest == "" {
 				t.Error("Prepare hook called without a digest")
 			}

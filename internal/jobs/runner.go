@@ -407,7 +407,7 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 
 // prepared resolves the run prologue through the host's cache when one is
 // wired, falling back to a direct Prepare.
-func (m *Manager) prepared(g *graph.Graph, digest string, opts kplex.Options) (*kplex.Prepared, error) {
+func (m *Manager) prepared(g graph.CSR, digest string, opts kplex.Options) (*kplex.Prepared, error) {
 	if m.cfg.Prepare != nil {
 		return m.cfg.Prepare(g, digest, opts)
 	}

@@ -201,14 +201,14 @@ type BatchRunner struct {
 // identical to what the equivalent standalone Run / EnumerateTopK /
 // SizeHistogram call would report; the differential grid in batch_test.go
 // pins that equivalence across the corpus and all three schedulers.
-func RunBatch(ctx context.Context, g *graph.Graph, queries []BatchQuery) ([]BatchResult, error) {
+func RunBatch(ctx context.Context, g graph.CSR, queries []BatchQuery) ([]BatchResult, error) {
 	return (&BatchRunner{}).Run(ctx, g, queries)
 }
 
 // Run executes queries against g. Groups run one after another (each
 // group's walk is internally parallel up to its Cell.Threads), so a batch
 // never holds more than one group's working set.
-func (br *BatchRunner) Run(ctx context.Context, g *graph.Graph, queries []BatchQuery) ([]BatchResult, error) {
+func (br *BatchRunner) Run(ctx context.Context, g graph.CSR, queries []BatchQuery) ([]BatchResult, error) {
 	groups, err := GroupBatch(queries)
 	if err != nil {
 		return nil, err
@@ -344,7 +344,7 @@ var errBatchSaturated = errValidation("kplex: batch group saturated")
 // runGroup prepares (or resolves) the group's handle and walks its seed
 // space once, fanning every discovered plex out to the members whose
 // threshold it meets.
-func (br *BatchRunner) runGroup(ctx context.Context, g *graph.Graph, gi int, grp *BatchGroup, queries []BatchQuery, results []BatchResult) error {
+func (br *BatchRunner) runGroup(ctx context.Context, g graph.CSR, gi int, grp *BatchGroup, queries []BatchQuery, results []BatchResult) error {
 	// Cancellation between groups must not start the next group's prologue:
 	// Prepare is a full O(n+m) pass, and RunPrepared's own pre-check only
 	// fires after it has been paid.

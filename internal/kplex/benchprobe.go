@@ -23,7 +23,7 @@ import (
 // linking the testing framework into serving binaries. Runs under the
 // race detector inflate the number (the race runtime allocates); the CI
 // guard runs uninstrumented.
-func SeedBuildAllocsPerOp(g *graph.Graph, opts Options) (float64, error) {
+func SeedBuildAllocsPerOp(g graph.CSR, opts Options) (float64, error) {
 	p, err := Prepare(g, opts)
 	if err != nil {
 		return 0, err
@@ -64,7 +64,7 @@ func SeedBuildAllocsPerOp(g *graph.Graph, opts Options) (float64, error) {
 // behind BENCH_kernels.json: the dense-vs-merge kernel choice only touches
 // seed construction, so comparing passes under different DenseCrossover
 // settings isolates the kernel delta from enumeration noise.
-func SeedBuildPass(g *graph.Graph, opts Options, reps int) (minPass time.Duration, builds int, denseBuilds int64, err error) {
+func SeedBuildPass(g graph.CSR, opts Options, reps int) (minPass time.Duration, builds int, denseBuilds int64, err error) {
 	p, err := Prepare(g, opts)
 	if err != nil {
 		return 0, 0, 0, err

@@ -221,7 +221,7 @@ func (e *engine) seedDoneEmpty(s int) {
 // SeedSpace is a thin wrapper over Prepare; callers that will also run the
 // enumeration should Prepare once and use Prepared.SeedSpace, which shares
 // the prologue with the run instead of computing it twice.
-func SeedSpace(g *graph.Graph, opts Options) (int, error) {
+func SeedSpace(g graph.CSR, opts Options) (int, error) {
 	p, err := Prepare(g, opts)
 	if err != nil {
 		return 0, err

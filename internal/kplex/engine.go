@@ -68,7 +68,7 @@ func (e *engine) releaseSeed(sg *seedGraph) {
 // runs over one graph (a query service, a resumable job) should Prepare
 // once and reuse the handle, which skips the O(n+m) prologue on every run
 // after the first.
-func Run(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
+func Run(ctx context.Context, g graph.CSR, opts Options) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}

@@ -13,7 +13,7 @@ import (
 // calibrated (a dataset whose plex sizes hug q exercises the bounds;
 // one with a long tail exercises the collapse shortcut). opts.OnPlex is
 // owned by SizeHistogram.
-func SizeHistogram(ctx context.Context, g *graph.Graph, opts Options) (map[int]int64, Result, error) {
+func SizeHistogram(ctx context.Context, g graph.CSR, opts Options) (map[int]int64, Result, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, Result{}, err

@@ -39,7 +39,7 @@ type Prepared struct {
 // Prepare computes the run prologue for g under opts. Only the
 // result-defining reduction options matter (K, Q, UseCTCP); execution
 // knobs may differ freely between the runs that later share the handle.
-func Prepare(g *graph.Graph, opts Options) (*Prepared, error) {
+func Prepare(g graph.CSR, opts Options) (*Prepared, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}

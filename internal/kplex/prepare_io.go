@@ -1,0 +1,105 @@
+package kplex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/graph"
+)
+
+// Serialized Prepared handles. The catalog persists warm run prologues
+// across restarts keyed by source-graph digest × (K, Q, UseCTCP); this
+// file defines the frame: magic, version, the options cell, the source
+// digest, the graph-layer payload, and a trailing CRC-32C over everything
+// before it. Loading a prologue is pure I/O plus validation — no O(n+m)
+// recompute — which is what turns a kplexd restart into a warm start.
+
+var preparedMagic = [8]byte{'K', 'P', 'L', 'X', 'P', 'R', 'P', '1'}
+
+const preparedVersion = 1
+
+var preparedCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// MarshalPrepared serialises a handle together with the digest of the
+// source graph it was prepared from.
+func MarshalPrepared(p *Prepared, sourceDigest [32]byte) []byte {
+	out := make([]byte, 0, 1<<16)
+	out = append(out, preparedMagic[:]...)
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{preparedVersion, uint64(p.k), uint64(p.q)} {
+		w := binary.PutUvarint(buf[:], v)
+		out = append(out, buf[:w]...)
+	}
+	if p.useCTCP {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = append(out, sourceDigest[:]...)
+	out = graph.EncodePrepared(out, p.pg)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(out, preparedCRCTable))
+	return append(out, crc[:]...)
+}
+
+// UnmarshalPrepared parses a serialized handle, returning it along with
+// the source-graph digest it was prepared from. The caller (the catalog
+// path) must check the digest against the graph it intends to serve —
+// a prologue for different graph content silently enumerates a different
+// decomposition.
+func UnmarshalPrepared(data []byte) (*Prepared, [32]byte, error) {
+	var zero [32]byte
+	if len(data) < len(preparedMagic)+4 {
+		return nil, zero, fmt.Errorf("kplex: prepared file too short (%d bytes)", len(data))
+	}
+	if [8]byte(data[:8]) != preparedMagic {
+		return nil, zero, fmt.Errorf("kplex: not a prepared-prologue file (magic %q)", data[:8])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.Checksum(body, preparedCRCTable); got != want {
+		return nil, zero, fmt.Errorf("kplex: prepared file CRC mismatch (file %08x, computed %08x)", got, want)
+	}
+	pos := 8
+	read := func() (uint64, error) {
+		v, w := binary.Uvarint(body[pos:])
+		if w <= 0 {
+			return 0, fmt.Errorf("kplex: prepared file truncated at byte %d", pos)
+		}
+		pos += w
+		return v, nil
+	}
+	ver, err := read()
+	if err != nil {
+		return nil, zero, err
+	}
+	if ver != preparedVersion {
+		return nil, zero, fmt.Errorf("kplex: prepared file version %d unsupported (have %d)", ver, preparedVersion)
+	}
+	k64, err := read()
+	if err != nil {
+		return nil, zero, err
+	}
+	q64, err := read()
+	if err != nil {
+		return nil, zero, err
+	}
+	if pos+1+32 > len(body) {
+		return nil, zero, fmt.Errorf("kplex: prepared file truncated in header")
+	}
+	ctcp := body[pos] != 0
+	pos++
+	var digest [32]byte
+	copy(digest[:], body[pos:pos+32])
+	pos += 32
+	pg, err := graph.DecodePrepared(body[pos:])
+	if err != nil {
+		return nil, zero, err
+	}
+	p := &Prepared{k: int(k64), q: int(q64), useCTCP: ctcp, pg: pg}
+	opts := Options{K: p.k, Q: p.q}
+	if err := opts.Validate(); err != nil {
+		return nil, zero, fmt.Errorf("kplex: prepared file carries invalid options cell: %w", err)
+	}
+	return p, digest, nil
+}

@@ -1,0 +1,75 @@
+package kplex
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestPreparedMarshalRoundTrip(t *testing.T) {
+	g := gen.Planted(gen.PlantedConfig{
+		N: 120, BackgroundP: 0.02, Communities: 4, CommSize: 12,
+		DropPerV: 1, Overlap: 2, Seed: 41,
+	})
+	for _, ctcp := range []bool{false, true} {
+		opts := Options{K: 2, Q: 6, UseCTCP: ctcp}
+		p, err := Prepare(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digest := graph.Digest(g)
+		raw := MarshalPrepared(p, digest)
+		p2, gotDigest, err := UnmarshalPrepared(raw)
+		if err != nil {
+			t.Fatalf("ctcp=%v: %v", ctcp, err)
+		}
+		if gotDigest != digest {
+			t.Fatalf("ctcp=%v: source digest did not survive", ctcp)
+		}
+		if p2.K() != 2 || p2.Q() != 6 || p2.UseCTCP() != ctcp {
+			t.Fatalf("ctcp=%v: options cell did not survive: k=%d q=%d ctcp=%v", ctcp, p2.K(), p2.Q(), p2.UseCTCP())
+		}
+		if p2.SeedSpace() != p.SeedSpace() {
+			t.Fatalf("ctcp=%v: seed space %d != %d", ctcp, p2.SeedSpace(), p.SeedSpace())
+		}
+		// The deserialized handle must enumerate the same result set.
+		ref, err := RunPrepared(context.Background(), p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunPrepared(context.Background(), p2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != ref.Count {
+			t.Fatalf("ctcp=%v: deserialized handle counts %d, original %d", ctcp, got.Count, ref.Count)
+		}
+	}
+}
+
+func TestPreparedUnmarshalRejectsCorruption(t *testing.T) {
+	g := gen.GNP(60, 0.15, 3)
+	p, err := Prepare(g, Options{K: 2, Q: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := MarshalPrepared(p, graph.Digest(g))
+
+	cases := map[string]func([]byte) []byte{
+		"empty":     func(b []byte) []byte { return nil },
+		"short":     func(b []byte) []byte { return b[:6] },
+		"bad-magic": func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"truncated": func(b []byte) []byte { return b[:len(b)-9] },
+		"bit-flip":  func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b },
+		"version":   func(b []byte) []byte { b[8] = 0x7f; return b },
+		"trailing":  func(b []byte) []byte { return append(b, 0xaa) },
+	}
+	for name, mutate := range cases {
+		buf := append([]byte(nil), raw...)
+		if _, _, err := UnmarshalPrepared(mutate(buf)); err == nil {
+			t.Errorf("%s: corrupt prepared file accepted", name)
+		}
+	}
+}

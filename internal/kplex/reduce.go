@@ -24,8 +24,10 @@ import (
 // The reduction subsumes repeated k-core peeling and never changes the
 // result set; it is an optional preprocessing step (Options.UseCTCP)
 // because its O(sum of deg(u)+deg(v) per edge) pass only pays off on
-// graphs with many low-support edges.
-func ReduceCTCP(g *graph.Graph, k, q int) *graph.Graph {
+// graphs with many low-support edges. It accepts any CSR source (the rows
+// it shrinks are copied out of the source up front) and returns a CSR: the
+// input itself when no rule can fire, a rebuilt in-memory graph otherwise.
+func ReduceCTCP(g graph.CSR, k, q int) graph.CSR {
 	n := g.N()
 	if n == 0 || q-2*k < 1 {
 		// An edge threshold of q-2k <= 0 never fires, and plain k-core

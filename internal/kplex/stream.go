@@ -71,7 +71,7 @@ func (h *StreamHandle) Wait() (Result, error) {
 //
 // RunStream is a thin wrapper over Prepare + RunStreamPrepared; callers
 // streaming repeatedly over one graph should reuse a Prepared handle.
-func RunStream(ctx context.Context, g *graph.Graph, opts Options) (*StreamHandle, error) {
+func RunStream(ctx context.Context, g graph.CSR, opts Options) (*StreamHandle, error) {
 	if opts.OnPlex != nil {
 		return nil, errStreamOnPlex
 	}
@@ -83,7 +83,7 @@ func RunStream(ctx context.Context, g *graph.Graph, opts Options) (*StreamHandle
 	// returns ctx.Err() before touching it).
 	prepOpts := opts
 	prepOpts.SkipSeeds = nil
-	target := g
+	var target graph.CSR = g
 	if ctx != nil && ctx.Err() != nil {
 		target = &graph.Graph{}
 	}

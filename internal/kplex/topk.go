@@ -51,7 +51,7 @@ func lexGreater(a, b []int) bool {
 // The run uses opts as given except for OnPlex, which EnumerateTopK owns;
 // the returned Result carries the full enumeration counters (Count is the
 // total number of maximal k-plexes seen, not topN).
-func EnumerateTopK(ctx context.Context, g *graph.Graph, opts Options, topN int) ([][]int, Result, error) {
+func EnumerateTopK(ctx context.Context, g graph.CSR, opts Options, topN int) ([][]int, Result, error) {
 	if topN < 1 {
 		return nil, Result{}, fmt.Errorf("kplex: topN must be >= 1, got %d", topN)
 	}

@@ -13,49 +13,53 @@ import (
 // batching behaviour — "N identical concurrent queries, one execution" —
 // through Executions, FlightShared and CacheHits rather than by timing.
 type metrics struct {
-	Queries          atomic.Int64 // cacheable queries accepted (count/topk/histogram; batch items count individually)
-	Batches          atomic.Int64 // POST /batch requests accepted
-	Streams          atomic.Int64 // streaming queries accepted
-	Executions       atomic.Int64 // enumerations actually run for cacheable queries
-	CacheHits        atomic.Int64 // answered straight from the result cache
-	CacheMisses      atomic.Int64 // had to consult singleflight (shared or executed)
-	FlightShared     atomic.Int64 // joined an in-flight identical query
-	Rejected         atomic.Int64 // turned away by admission control (429)
-	Errors           atomic.Int64 // requests that ended in a 4xx/5xx other than 429
-	GraphLoads       atomic.Int64 // registry loads (not cache-resident reuses)
-	GraphEvictions   atomic.Int64 // registry evictions (LRU or explicit)
-	StreamedPlexes   atomic.Int64 // plexes delivered over stream responses
-	StreamsCancelled atomic.Int64 // streams ended by client disconnect / ctx
-	PreparedHits     atomic.Int64 // runs served a resident prepared-graph handle
-	PreparedMisses   atomic.Int64 // runs that had to compute the prologue
-	AutoTuned        atomic.Int64 // scheduler=auto queries tuned from the cost model
-	RoutedAsync      atomic.Int64 // route=auto queries converted into background jobs
-	CostObservations atomic.Int64 // measured runtimes fed to the cost calibrator
-	RangeRuns        atomic.Int64 // distributed seed ranges served as a cluster worker
+	Queries           atomic.Int64 // cacheable queries accepted (count/topk/histogram; batch items count individually)
+	Batches           atomic.Int64 // POST /batch requests accepted
+	Streams           atomic.Int64 // streaming queries accepted
+	Executions        atomic.Int64 // enumerations actually run for cacheable queries
+	CacheHits         atomic.Int64 // answered straight from the result cache
+	CacheMisses       atomic.Int64 // had to consult singleflight (shared or executed)
+	FlightShared      atomic.Int64 // joined an in-flight identical query
+	Rejected          atomic.Int64 // turned away by admission control (429)
+	Errors            atomic.Int64 // requests that ended in a 4xx/5xx other than 429
+	GraphLoads        atomic.Int64 // registry loads (not cache-resident reuses)
+	GraphEvictions    atomic.Int64 // registry evictions (LRU or explicit)
+	StreamedPlexes    atomic.Int64 // plexes delivered over stream responses
+	StreamsCancelled  atomic.Int64 // streams ended by client disconnect / ctx
+	PreparedHits      atomic.Int64 // runs served a resident prepared-graph handle
+	PreparedMisses    atomic.Int64 // runs that had to compute the prologue
+	PreparedWarmLoads atomic.Int64 // prologues deserialized from the catalog instead of computed
+	PreparedPersists  atomic.Int64 // computed prologues persisted to the catalog
+	AutoTuned         atomic.Int64 // scheduler=auto queries tuned from the cost model
+	RoutedAsync       atomic.Int64 // route=auto queries converted into background jobs
+	CostObservations  atomic.Int64 // measured runtimes fed to the cost calibrator
+	RangeRuns         atomic.Int64 // distributed seed ranges served as a cluster worker
 }
 
 // snapshot returns the counters as a plain map for JSON encoding.
 func (m *metrics) snapshot() map[string]int64 {
 	return map[string]int64{
-		"queries":           m.Queries.Load(),
-		"batches":           m.Batches.Load(),
-		"streams":           m.Streams.Load(),
-		"executions":        m.Executions.Load(),
-		"cache_hits":        m.CacheHits.Load(),
-		"cache_misses":      m.CacheMisses.Load(),
-		"flight_shared":     m.FlightShared.Load(),
-		"rejected":          m.Rejected.Load(),
-		"errors":            m.Errors.Load(),
-		"graph_loads":       m.GraphLoads.Load(),
-		"graph_evictions":   m.GraphEvictions.Load(),
-		"streamed_plexes":   m.StreamedPlexes.Load(),
-		"streams_cancelled": m.StreamsCancelled.Load(),
-		"prepared_hits":     m.PreparedHits.Load(),
-		"prepared_misses":   m.PreparedMisses.Load(),
-		"auto_tuned":        m.AutoTuned.Load(),
-		"routed_async":      m.RoutedAsync.Load(),
-		"cost_observations": m.CostObservations.Load(),
-		"range_runs":        m.RangeRuns.Load(),
+		"queries":             m.Queries.Load(),
+		"batches":             m.Batches.Load(),
+		"streams":             m.Streams.Load(),
+		"executions":          m.Executions.Load(),
+		"cache_hits":          m.CacheHits.Load(),
+		"cache_misses":        m.CacheMisses.Load(),
+		"flight_shared":       m.FlightShared.Load(),
+		"rejected":            m.Rejected.Load(),
+		"errors":              m.Errors.Load(),
+		"graph_loads":         m.GraphLoads.Load(),
+		"graph_evictions":     m.GraphEvictions.Load(),
+		"streamed_plexes":     m.StreamedPlexes.Load(),
+		"streams_cancelled":   m.StreamsCancelled.Load(),
+		"prepared_hits":       m.PreparedHits.Load(),
+		"prepared_misses":     m.PreparedMisses.Load(),
+		"prepared_warm_loads": m.PreparedWarmLoads.Load(),
+		"prepared_persists":   m.PreparedPersists.Load(),
+		"auto_tuned":          m.AutoTuned.Load(),
+		"routed_async":        m.RoutedAsync.Load(),
+		"cost_observations":   m.CostObservations.Load(),
+		"range_runs":          m.RangeRuns.Load(),
 	}
 }
 
@@ -78,25 +82,27 @@ var promGauges = map[string]bool{
 // ship without its metadata; the runtime fallback below is belt and
 // braces, not a licence to skip registration.
 var metricHelp = map[string]string{
-	"queries":           "Cacheable queries accepted (count/topk/histogram; batch items count individually).",
-	"batches":           "POST /batch requests accepted.",
-	"streams":           "Streaming queries accepted.",
-	"executions":        "Enumerations actually run for cacheable queries.",
-	"cache_hits":        "Queries answered straight from the result cache.",
-	"cache_misses":      "Queries that had to consult singleflight (shared or executed).",
-	"flight_shared":     "Queries that joined an in-flight identical query.",
-	"rejected":          "Requests turned away by admission control (429).",
-	"errors":            "Requests that ended in a 4xx/5xx other than 429.",
-	"graph_loads":       "Graph registry loads (not cache-resident reuses).",
-	"graph_evictions":   "Graph registry evictions (LRU or explicit).",
-	"streamed_plexes":   "Plexes delivered over stream responses.",
-	"streams_cancelled": "Streams ended by client disconnect or context cancellation.",
-	"prepared_hits":     "Runs served a resident prepared-graph handle.",
-	"prepared_misses":   "Runs that had to compute the prologue.",
-	"auto_tuned":        "scheduler=auto queries tuned from the cost model.",
-	"routed_async":      "route=auto queries converted into background jobs.",
-	"cost_observations": "Measured runtimes fed to the cost calibrator.",
-	"range_runs":        "Distributed seed ranges served as a cluster worker.",
+	"queries":             "Cacheable queries accepted (count/topk/histogram; batch items count individually).",
+	"batches":             "POST /batch requests accepted.",
+	"streams":             "Streaming queries accepted.",
+	"executions":          "Enumerations actually run for cacheable queries.",
+	"cache_hits":          "Queries answered straight from the result cache.",
+	"cache_misses":        "Queries that had to consult singleflight (shared or executed).",
+	"flight_shared":       "Queries that joined an in-flight identical query.",
+	"rejected":            "Requests turned away by admission control (429).",
+	"errors":              "Requests that ended in a 4xx/5xx other than 429.",
+	"graph_loads":         "Graph registry loads (not cache-resident reuses).",
+	"graph_evictions":     "Graph registry evictions (LRU or explicit).",
+	"streamed_plexes":     "Plexes delivered over stream responses.",
+	"streams_cancelled":   "Streams ended by client disconnect or context cancellation.",
+	"prepared_hits":       "Runs served a resident prepared-graph handle.",
+	"prepared_misses":     "Runs that had to compute the prologue.",
+	"prepared_warm_loads": "Prologues deserialized from the persistent catalog instead of computed.",
+	"prepared_persists":   "Computed prologues persisted to the catalog.",
+	"auto_tuned":          "scheduler=auto queries tuned from the cost model.",
+	"routed_async":        "route=auto queries converted into background jobs.",
+	"cost_observations":   "Measured runtimes fed to the cost calibrator.",
+	"range_runs":          "Distributed seed ranges served as a cluster worker.",
 
 	"cache_entries":    "Result-cache entries currently resident.",
 	"resident_graphs":  "Graphs currently resident in the registry.",

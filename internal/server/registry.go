@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/store"
 )
 
 // Registry keeps parsed graphs resident so queries stop paying a full
@@ -21,7 +23,7 @@ import (
 // holds it; the registry merely forgets the name).
 type Registry struct {
 	maxResident int
-	loader      func(name string) (*graph.Graph, error)
+	loader      func(name string) (graph.CSR, error)
 	onLoad      func()
 	onEvict     func()
 
@@ -30,12 +32,14 @@ type Registry struct {
 	loading map[string]*sync.WaitGroup
 }
 
-// GraphEntry is one resident graph. Immutable after load except for the
-// registry-managed refcount and timestamps.
+// GraphEntry is one resident graph: either a fully parsed in-memory
+// *graph.Graph or an mmap-backed *store.Reader — everything downstream of
+// the registry speaks graph.CSR and cannot tell the difference. Immutable
+// after load except for the registry-managed refcount and timestamps.
 type GraphEntry struct {
 	Name   string
-	G      *graph.Graph
-	Digest string // graph.DigestHex: content identity for cache keying
+	G      graph.CSR
+	Digest string // graph.DigestHexOf: content identity for cache keying
 
 	refs     int
 	loadedAt time.Time
@@ -56,7 +60,7 @@ type GraphInfo struct {
 // NewRegistry returns a registry holding at most maxResident graphs
 // (idle ones beyond the cap are evicted LRU; pinned ones may exceed it).
 // loader resolves a graph name to a parsed graph.
-func NewRegistry(maxResident int, loader func(string) (*graph.Graph, error)) *Registry {
+func NewRegistry(maxResident int, loader func(string) (graph.CSR, error)) *Registry {
 	if maxResident < 1 {
 		maxResident = 1
 	}
@@ -131,7 +135,7 @@ func (r *Registry) Acquire(name string) (*GraphEntry, error) {
 	e := &GraphEntry{
 		Name:     name,
 		G:        g,
-		Digest:   graph.DigestHex(g),
+		Digest:   graph.DigestHexOf(g),
 		refs:     1,
 		loadedAt: now,
 		lastUse:  now,
@@ -171,9 +175,25 @@ func (r *Registry) evictOverCapLocked() {
 			return // everything is pinned; stay over cap until releases
 		}
 		delete(r.entries, victim.Name)
+		closeEntryGraph(victim)
 		if r.onEvict != nil {
 			r.onEvict()
 		}
+	}
+}
+
+// closeEntryGraph releases an evicted entry's backing resources. For
+// in-memory graphs this is a no-op (the GC keeps the *Graph alive for any
+// result or handle still referencing it); a store-backed graph holds an
+// mmap, which must be released eagerly — an eviction-churned registry
+// would otherwise exhaust address space and file descriptors long before
+// the GC noticed. Every caller guarantees refs == 0, which is exactly the
+// munmap-safety condition: no query is inside Degree/Neighbors, and the
+// decoded blocks any still-held result aliases are heap copies, not mmap
+// pages, so they survive the unmap.
+func closeEntryGraph(e *GraphEntry) {
+	if c, ok := e.G.(io.Closer); ok {
+		c.Close() //nolint:errcheck // eviction is best-effort cleanup
 	}
 }
 
@@ -196,6 +216,7 @@ func (r *Registry) Evict(name string) error {
 		return fmt.Errorf("graph %q: %w (%d queries)", name, ErrInUse, e.refs)
 	}
 	delete(r.entries, name)
+	closeEntryGraph(e)
 	if r.onEvict != nil {
 		r.onEvict()
 	}
@@ -235,12 +256,15 @@ func (r *Registry) Len() int {
 // hermetically.
 const corpusPrefix = "corpus:"
 
-// NewLoader returns the standard name resolver: "corpus:<name>" builds the
-// builtin corpus graph; anything else is a file path inside dataDir,
-// parsed with format auto-detection. An empty dataDir serves only the
+// NewLoader returns the standard name resolver: "corpus:<name>" builds
+// the builtin corpus graph; otherwise the catalog (when configured) is
+// consulted first, serving registered store files mmap-backed with the
+// manifest digest verified in O(1); anything else is a file path inside
+// dataDir — *.kpg opened as an mmap store, everything else parsed with
+// format auto-detection. An empty dataDir with no catalog serves only the
 // corpus. Paths escaping dataDir are rejected.
-func NewLoader(dataDir string) func(string) (*graph.Graph, error) {
-	return func(name string) (*graph.Graph, error) {
+func NewLoader(dataDir string, cat *store.Catalog) func(string) (graph.CSR, error) {
+	return func(name string) (graph.CSR, error) {
 		if rest, ok := strings.CutPrefix(name, corpusPrefix); ok {
 			cg := gen.CorpusGraphByName(rest)
 			if cg == nil {
@@ -248,7 +272,13 @@ func NewLoader(dataDir string) func(string) (*graph.Graph, error) {
 			}
 			return cg.Build(), nil
 		}
+		if cat != nil && cat.Lookup(name) != nil {
+			return cat.OpenGraph(name)
+		}
 		if dataDir == "" {
+			if cat != nil {
+				return nil, fmt.Errorf("graph %q: not in the catalog and no data directory configured", name)
+			}
 			return nil, fmt.Errorf("graph %q: no data directory configured (only %s* names are servable)", name, corpusPrefix)
 		}
 		if name == "" || filepath.IsAbs(name) {
@@ -258,7 +288,11 @@ func NewLoader(dataDir string) func(string) (*graph.Graph, error) {
 		if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
 			return nil, fmt.Errorf("graph name %q escapes the data directory", name)
 		}
-		rr, err := graph.ReadAnyFile(filepath.Join(dataDir, clean))
+		path := filepath.Join(dataDir, clean)
+		if strings.HasSuffix(clean, store.StoreExt) {
+			return store.OpenFile(path)
+		}
+		rr, err := graph.ReadAnyFile(path)
 		if err != nil {
 			return nil, err
 		}

@@ -17,7 +17,7 @@ import (
 
 func TestRegistryLoaderErrorAllowsRetry(t *testing.T) {
 	var calls atomic.Int64
-	r := NewRegistry(2, func(string) (*graph.Graph, error) {
+	r := NewRegistry(2, func(string) (graph.CSR, error) {
 		if calls.Add(1) == 1 {
 			return nil, errors.New("transient read failure")
 		}
@@ -39,7 +39,7 @@ func TestRegistryLoaderErrorAllowsRetry(t *testing.T) {
 
 func TestRegistryPanickingLoaderDoesNotWedge(t *testing.T) {
 	var calls atomic.Int64
-	r := NewRegistry(2, func(string) (*graph.Graph, error) {
+	r := NewRegistry(2, func(string) (graph.CSR, error) {
 		if calls.Add(1) == 1 {
 			panic("parser bug on corrupt file")
 		}
@@ -72,7 +72,7 @@ func TestRegistryPanickingLoaderDoesNotWedge(t *testing.T) {
 
 func TestRegistryConcurrentAcquireSingleLoad(t *testing.T) {
 	var loads atomic.Int64
-	r := NewRegistry(4, func(string) (*graph.Graph, error) {
+	r := NewRegistry(4, func(string) (graph.CSR, error) {
 		loads.Add(1)
 		time.Sleep(50 * time.Millisecond) // hold the herd on the marker
 		return gen.GNP(20, 0.3, 1), nil
@@ -111,7 +111,7 @@ func TestRegistryConcurrentAcquireSingleLoad(t *testing.T) {
 }
 
 func TestRegistryEvictRespectsRefcount(t *testing.T) {
-	r := NewRegistry(2, func(string) (*graph.Graph, error) {
+	r := NewRegistry(2, func(string) (graph.CSR, error) {
 		return gen.GNP(20, 0.3, 1), nil
 	})
 	e, err := r.Acquire("g")

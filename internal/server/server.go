@@ -23,6 +23,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/kplex"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -31,6 +32,14 @@ type Config struct {
 	// DataDir is the directory graph files are served from; empty means
 	// only the builtin "corpus:*" graphs are available.
 	DataDir string
+	// CatalogDir enables the persistent graph catalog: converted store
+	// files (*.kpg) registered there are served mmap-backed — a cold open
+	// reads only the 4 KiB header, so restart-to-serving is O(1) per graph
+	// regardless of size — and computed run prologues are persisted
+	// alongside, keyed by content digest × (k, q, ctcp), so a restarted
+	// kplexd answers its first repeat query warm instead of re-running the
+	// O(n+m) prologue. Empty disables both.
+	CatalogDir string
 	// MaxResidentGraphs caps the registry (default 8).
 	MaxResidentGraphs int
 	// CacheEntries caps the result cache (default 256).
@@ -217,6 +226,7 @@ type Server struct {
 	reg     *Registry
 	cache   *resultCache
 	prep    *preparedCache
+	catalog *store.Catalog // nil when Config.CatalogDir is empty
 	flight  flightGroup
 	sem     chan struct{}
 	met     metrics
@@ -238,9 +248,17 @@ type Server struct {
 // unrecoverable job state).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	var cat *store.Catalog
+	if cfg.CatalogDir != "" {
+		var err error
+		if cat, err = store.OpenCatalog(cfg.CatalogDir); err != nil {
+			return nil, fmt.Errorf("opening graph catalog: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
-		reg:      NewRegistry(cfg.MaxResidentGraphs, NewLoader(cfg.DataDir)),
+		reg:      NewRegistry(cfg.MaxResidentGraphs, NewLoader(cfg.DataDir, cat)),
+		catalog:  cat,
 		cache:    newResultCache(cfg.CacheEntries),
 		prep:     newPreparedCache(cfg.PreparedEntries),
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
@@ -315,7 +333,7 @@ func (s *Server) Cluster() *cluster.Coordinator { return s.cluster }
 
 // jobGraph adapts the graph registry to the job manager's loader: the
 // graph stays pinned for the whole run.
-func (s *Server) jobGraph(name string) (*graph.Graph, string, func(), error) {
+func (s *Server) jobGraph(name string) (graph.CSR, string, func(), error) {
 	e, err := s.reg.Acquire(name)
 	if err != nil {
 		return nil, "", nil, err
@@ -327,9 +345,13 @@ func (s *Server) jobGraph(name string) (*graph.Graph, string, func(), error) {
 // prepared-graph cache, so background jobs — and especially their resumed
 // incarnations after a restart — share prologues with interactive queries
 // instead of recomputing them.
-func (s *Server) jobPrepared(g *graph.Graph, digest string, opts kplex.Options) (*kplex.Prepared, error) {
+func (s *Server) jobPrepared(g graph.CSR, digest string, opts kplex.Options) (*kplex.Prepared, error) {
 	return s.prepared(g, digest, &opts)
 }
+
+// Catalog exposes the persistent graph catalog (tests and the preload
+// path); nil when Config.CatalogDir is empty.
+func (s *Server) Catalog() *store.Catalog { return s.catalog }
 
 // admitJob takes an enumeration slot for a background job or a leased
 // seed range. Unlike the interactive path there is no 429: jobs are queued

@@ -1,0 +1,186 @@
+package server
+
+// Integration tests for the graph store and catalog in the serving layer:
+// catalog warm starts (a restarted kplexd answers from persisted
+// prologues without re-preparing) and registry eviction safety for
+// mmap-backed graphs (eviction munmaps, but never under an in-flight
+// query). CI runs this package under -race, which is what gives the
+// churn test its teeth.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// writeCorpusStore materialises a corpus graph as a .kpg file and returns
+// the in-memory original for comparison.
+func writeCorpusStore(t *testing.T, dir, file, corpusName string, blockVerts int) *graph.Graph {
+	t.Helper()
+	g := gen.CorpusGraphByName(corpusName).Build()
+	if err := store.WriteGraphFile(filepath.Join(dir, file), g, blockVerts); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestCatalogServesStoreBackedQueries pins the basic serving path: a
+// catalog-registered store file answers queries with the same count and
+// the same digest as the in-memory corpus graph it was written from, and
+// the served digest comes from the file header, not a rehash.
+func TestCatalogServesStoreBackedQueries(t *testing.T) {
+	dir := t.TempDir()
+	g := writeCorpusStore(t, dir, "planted-a.kpg", "planted-a", 64)
+	_, hs := newTestServer(t, Config{CatalogDir: dir})
+
+	code, mm := postQuery(t, hs.URL, `{"graph":"planted-a","k":2,"q":6,"mode":"count"}`)
+	if code != 200 {
+		t.Fatalf("store-backed query: status %d", code)
+	}
+	code, ref := postQuery(t, hs.URL, `{"graph":"corpus:planted-a","k":2,"q":6,"mode":"count"}`)
+	if code != 200 {
+		t.Fatalf("corpus query: status %d", code)
+	}
+	if mm.Count != ref.Count {
+		t.Fatalf("store-backed count %d != in-memory count %d", mm.Count, ref.Count)
+	}
+	if mm.Digest != ref.Digest || mm.Digest != graph.DigestHexOf(g) {
+		t.Fatalf("digest mismatch: store %s, corpus %s, source %s",
+			mm.Digest, ref.Digest, graph.DigestHexOf(g))
+	}
+}
+
+// TestCatalogWarmStart is the restart contract: a second kplexd over the
+// same catalog directory serves the same cell without re-running Prepare —
+// the persisted prologue is loaded (prepared_warm_loads), not recomputed
+// (prepared_misses stays 0) — and returns the identical count.
+func TestCatalogWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpusStore(t, dir, "g.kpg", "planted-a", 0)
+
+	s1, hs1 := newTestServer(t, Config{CatalogDir: dir})
+	code, first := postQuery(t, hs1.URL, `{"graph":"g","k":2,"q":6,"mode":"count"}`)
+	if code != 200 {
+		t.Fatalf("cold query: status %d", code)
+	}
+	m := s1.Metrics()
+	if m["prepared_misses"] != 1 || m["prepared_persists"] != 1 {
+		t.Fatalf("cold server: misses=%d persists=%d, want 1/1",
+			m["prepared_misses"], m["prepared_persists"])
+	}
+	hs1.Close()
+	s1.Close()
+
+	s2, hs2 := newTestServer(t, Config{CatalogDir: dir})
+	code, again := postQuery(t, hs2.URL, `{"graph":"g","k":2,"q":6,"mode":"count"}`)
+	if code != 200 {
+		t.Fatalf("warm query: status %d", code)
+	}
+	if again.Count != first.Count || again.Digest != first.Digest {
+		t.Fatalf("warm result (%d, %s) != cold result (%d, %s)",
+			again.Count, again.Digest, first.Count, first.Digest)
+	}
+	m = s2.Metrics()
+	if m["prepared_warm_loads"] != 1 {
+		t.Fatalf("prepared_warm_loads = %d, want 1", m["prepared_warm_loads"])
+	}
+	if m["prepared_misses"] != 0 {
+		t.Fatalf("prepared_misses = %d after warm start, want 0 (the prologue must come from disk)", m["prepared_misses"])
+	}
+
+	// A cell that was never persisted still computes (and persists) fresh.
+	code, _ = postQuery(t, hs2.URL, `{"graph":"g","k":3,"q":8,"mode":"count"}`)
+	if code != 200 {
+		t.Fatalf("new cell: status %d", code)
+	}
+	m = s2.Metrics()
+	if m["prepared_misses"] != 1 || m["prepared_persists"] != 1 {
+		t.Fatalf("new cell: misses=%d persists=%d, want 1/1",
+			m["prepared_misses"], m["prepared_persists"])
+	}
+}
+
+// TestRegistryEvictionMunmapGuard churns a cap-1 registry with two
+// mmap-backed graphs while worker goroutines hold entries and walk the
+// adjacency through the mapping. Every eviction munmaps the victim, so if
+// the refs==0 guard were wrong a scan would fault on an unmapped page (or
+// -race would flag the close). The test asserts the data read under churn
+// is right: every scan of either graph must see that graph's exact edge
+// count.
+func TestRegistryEvictionMunmapGuard(t *testing.T) {
+	dir := t.TempDir()
+	graphs := map[string]*graph.Graph{
+		"a.kpg": writeCorpusStore(t, dir, "a.kpg", "planted-a", 16),
+		"b.kpg": writeCorpusStore(t, dir, "b.kpg", "gnp-dense", 16),
+	}
+	reg := NewRegistry(1, NewLoader(dir, nil))
+
+	const workers, iters = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"a.kpg", "b.kpg"}
+			for i := 0; i < iters; i++ {
+				name := names[(w+i)%2]
+				e, err := reg.Acquire(name)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Full adjacency walk through the mapping while other
+				// workers acquire the sibling graph and force evictions.
+				sum := 0
+				for v := 0; v < e.G.N(); v++ {
+					sum += len(e.G.Neighbors(v))
+				}
+				if want := 2 * graphs[name].M(); sum != want {
+					errs <- fmt.Errorf("%s: scanned %d directed edges, want %d", name, sum, want)
+					reg.Release(e)
+					return
+				}
+				reg.Release(e)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := reg.Len(); n > 1 {
+		t.Fatalf("registry over cap after churn: %d resident", n)
+	}
+}
+
+// TestRegistryEvictClosesStoreReader pins that explicit eviction of an
+// idle store-backed entry actually releases the mapping: the reader
+// panics on use after Evict, which is the documented use-after-close
+// behaviour of store.Reader.
+func TestRegistryEvictClosesStoreReader(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpusStore(t, dir, "g.kpg", "planted-a", 0)
+	reg := NewRegistry(4, NewLoader(dir, nil))
+	e, err := reg.Acquire("g.kpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := e.G
+	reg.Release(e)
+	if err := reg.Evict("g.kpg"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("evicted store reader still readable: mapping was not released")
+		}
+	}()
+	g.Neighbors(0)
+}

@@ -1,0 +1,335 @@
+package store
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+)
+
+// Streaming edge-list → store conversion. The full graph is never
+// materialized: edges are read line by line, buffered as directed arcs in
+// a bounded in-memory run, spilled sorted to temp files when the run
+// fills, and k-way merged straight into the block Writer. Resident memory
+// is O(run size) regardless of edge count — the property that opens the
+// toolchain to graphs far larger than RAM.
+
+// ConvertOptions tunes a conversion. The zero value is usable.
+type ConvertOptions struct {
+	// SortBufArcs is the in-memory run capacity in directed arcs (each
+	// undirected input edge contributes two). Default 4Mi arcs = 32 MiB
+	// of run buffer; peak RSS tracks this, not m.
+	SortBufArcs int
+	// BlockVerts is the output block geometry (default DefaultBlockVerts).
+	BlockVerts int
+	// TmpDir is where spill runs live (default: alongside the output).
+	TmpDir string
+}
+
+// ConvertInfo summarises a finished conversion.
+type ConvertInfo struct {
+	N         int    `json:"n"`
+	M         int64  `json:"m"`
+	Runs      int    `json:"runs"`      // spill runs merged
+	InputArcs int64  `json:"inputArcs"` // directed arcs before dedup
+	FileBytes int64  `json:"fileBytes"` // finished store file size
+	Digest    string `json:"digest"`    // hex content digest (== header digest)
+}
+
+const defaultSortBufArcs = 4 << 20
+
+// arc packs a directed edge (src<<32 | dst) so runs sort as plain uint64s.
+type arc = uint64
+
+// ConvertEdgeList streams a SNAP-style edge list ("u v" per line, '#'/'%'
+// comments, ids need not be contiguous but must be < 2^31) from src into
+// a store file at dst. Vertex ids are preserved as given — id gaps become
+// isolated vertices — so results over the store report the input's own id
+// space, and n is max(id)+1.
+func ConvertEdgeList(src io.Reader, dst string, o ConvertOptions) (*ConvertInfo, error) {
+	if o.SortBufArcs <= 0 {
+		o.SortBufArcs = defaultSortBufArcs
+	}
+	if o.SortBufArcs < 2 {
+		o.SortBufArcs = 2
+	}
+	tmpDir := o.TmpDir
+	if tmpDir == "" {
+		tmpDir = "."
+		if i := lastSep(dst); i >= 0 {
+			tmpDir = dst[:i]
+		}
+	}
+	spill, err := os.MkdirTemp(tmpDir, "kpgsort-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spill)
+
+	info := &ConvertInfo{}
+	buf := make([]arc, 0, o.SortBufArcs)
+	var runs []string
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		slices.Sort(buf)
+		buf = slices.Compact(buf)
+		path := fmt.Sprintf("%s/run-%06d", spill, len(runs))
+		if err := writeRun(path, buf); err != nil {
+			return err
+		}
+		runs = append(runs, path)
+		buf = buf[:0]
+		return nil
+	}
+
+	maxID := int64(-1)
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		i := 0
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+			i++
+		}
+		if i == len(line) || line[i] == '#' || line[i] == '%' {
+			continue
+		}
+		u, next, err := parseField(line, i)
+		if err != nil {
+			return nil, fmt.Errorf("store: line %d: %w", lineNo, err)
+		}
+		v, _, err := parseField(line, next)
+		if err != nil {
+			return nil, fmt.Errorf("store: line %d: %w", lineNo, err)
+		}
+		if u >= 1<<31 || v >= 1<<31 {
+			return nil, fmt.Errorf("store: line %d: vertex id beyond the int32 id space", lineNo)
+		}
+		if u == v {
+			continue // self-loop
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		info.InputArcs += 2
+		buf = append(buf, arc(u)<<32|arc(v), arc(v)<<32|arc(u))
+		if len(buf)+2 > o.SortBufArcs {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: reading edge list: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	info.Runs = len(runs)
+	n := int(maxID + 1)
+
+	w, err := Create(dst, n, o.BlockVerts)
+	if err != nil {
+		return nil, err
+	}
+	if err := mergeRuns(runs, n, w); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	if err := w.Finish(); err != nil {
+		return nil, err
+	}
+	st, err := os.Stat(dst)
+	if err != nil {
+		return nil, err
+	}
+	info.N = n
+	info.M = int64(w.hdr.M)
+	info.FileBytes = st.Size()
+	info.Digest = fmt.Sprintf("%x", w.hdr.Digest)
+	return info, nil
+}
+
+// mergeRuns k-way merges the sorted spill runs, deduplicates across runs,
+// and feeds full rows to the Writer in vertex order (emitting empty rows
+// for id gaps).
+func mergeRuns(runs []string, n int, w *Writer) error {
+	h := make(runHeap, 0, len(runs))
+	for _, path := range runs {
+		rr, err := openRun(path)
+		if err != nil {
+			closeRuns(h)
+			return err
+		}
+		if rr.next() {
+			h = append(h, rr)
+		} else if err := rr.close(); err != nil {
+			closeRuns(h)
+			return err
+		}
+	}
+	heap.Init(&h)
+
+	cur := 0 // next vertex to emit
+	var row []int32
+	emitThrough := func(v int) error {
+		for cur < v {
+			if cur == v-1 {
+				if err := w.AddRow(row); err != nil {
+					return err
+				}
+				row = row[:0]
+			} else if err := w.AddRow(nil); err != nil {
+				return err
+			}
+			cur++
+		}
+		return nil
+	}
+	rowSrc := -1 // vertex whose row is currently accumulating
+
+	var last arc
+	haveLast := false
+	for len(h) > 0 {
+		rr := h[0]
+		a := rr.cur
+		if rr.next() {
+			heap.Fix(&h, 0)
+		} else {
+			if err := rr.close(); err != nil {
+				closeRuns(h)
+				return err
+			}
+			heap.Pop(&h)
+		}
+		if haveLast && a == last {
+			continue // duplicate across runs
+		}
+		last, haveLast = a, true
+		src := int(a >> 32)
+		dst := int32(a & 0xffffffff)
+		if src != rowSrc {
+			if rowSrc >= 0 {
+				if err := emitThrough(rowSrc + 1); err != nil {
+					closeRuns(h)
+					return err
+				}
+			}
+			rowSrc = src
+		}
+		row = append(row, dst)
+	}
+	if rowSrc >= 0 {
+		if err := emitThrough(rowSrc + 1); err != nil {
+			return err
+		}
+	}
+	return emitThrough(n)
+}
+
+func closeRuns(h runHeap) {
+	for _, rr := range h {
+		rr.close() //nolint:errcheck // already failing
+	}
+}
+
+// writeRun spills a sorted, deduplicated arc run as delta-varint uint64s
+// — sorted runs delta-compress extremely well, so spill I/O stays a small
+// multiple of the final file size.
+func writeRun(path string, arcs []arc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var vb [binary.MaxVarintLen64]byte
+	prev := arc(0)
+	for _, a := range arcs {
+		w := binary.PutUvarint(vb[:], a-prev)
+		if _, err := bw.Write(vb[:w]); err != nil {
+			f.Close()
+			return err
+		}
+		prev = a
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runReader streams one spill run back in order.
+type runReader struct {
+	f    *os.File
+	br   *bufio.Reader
+	prev arc
+	cur  arc
+}
+
+func openRun(path string) (*runReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &runReader{f: f, br: bufio.NewReaderSize(f, 1<<18)}, nil
+}
+
+func (r *runReader) next() bool {
+	delta, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return false
+	}
+	r.cur = r.prev + delta
+	r.prev = r.cur
+	return true
+}
+
+func (r *runReader) close() error { return r.f.Close() }
+
+type runHeap []*runReader
+
+func (h runHeap) Len() int           { return len(h) }
+func (h runHeap) Less(i, j int) bool { return h[i].cur < h[j].cur }
+func (h runHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)        { *h = append(*h, x.(*runReader)) }
+func (h *runHeap) Pop() any          { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+func lastSep(path string) int {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return i
+		}
+	}
+	return -1
+}
+
+// parseField reads one non-negative integer starting at or after offset i.
+func parseField(line []byte, i int) (int64, int, error) {
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+		i++
+	}
+	start := i
+	var v int64
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		v = v*10 + int64(line[i]-'0')
+		if v > 1<<40 {
+			return 0, i, fmt.Errorf("integer field too large at column %d", start+1)
+		}
+		i++
+	}
+	if i == start {
+		return 0, i, fmt.Errorf("expected integer at column %d", start+1)
+	}
+	return v, i, nil
+}

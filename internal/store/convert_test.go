@@ -1,0 +1,122 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// edgeListOf renders g as a shuffled, duplicate-laden text edge list —
+// the messy input shape conversion has to normalize.
+func edgeListOf(g *graph.Graph, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var lines []string
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v {
+				// Random orientation, occasional duplicates and self-loops.
+				a, b := v, int(u)
+				if rng.Intn(2) == 0 {
+					a, b = b, a
+				}
+				lines = append(lines, fmt.Sprintf("%d\t%d", a, b))
+				if rng.Intn(4) == 0 {
+					lines = append(lines, fmt.Sprintf("%d %d", b, a))
+				}
+			}
+		}
+	}
+	lines = append(lines, "7 7") // self-loop, dropped
+	rng.Shuffle(len(lines), func(i, j int) { lines[i], lines[j] = lines[j], lines[i] })
+	return "# comment header\n% another comment\n\n" + strings.Join(lines, "\n") + "\n"
+}
+
+func TestConvertMatchesInMemory(t *testing.T) {
+	g := gen.ChungLu(800, 10, 2.4, 21)
+	for _, sortBuf := range []int{0, 64, 1024} { // 0 = one giant run; small = many spill runs
+		dst := filepath.Join(t.TempDir(), "c.kpg")
+		info, err := ConvertEdgeList(strings.NewReader(edgeListOf(g, int64(sortBuf))), dst, ConvertOptions{
+			SortBufArcs: sortBuf,
+			BlockVerts:  32,
+		})
+		if err != nil {
+			t.Fatalf("sortbuf=%d: %v", sortBuf, err)
+		}
+		if sortBuf == 64 && info.Runs < 10 {
+			t.Errorf("sortbuf=64: only %d spill runs; external-sort path not exercised", info.Runs)
+		}
+		if info.N != g.N() || info.M != int64(g.M()) {
+			t.Fatalf("sortbuf=%d: converted n=%d m=%d, want n=%d m=%d", sortBuf, info.N, info.M, g.N(), g.M())
+		}
+		r, err := OpenFile(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StoredDigest() != graph.Digest(g) {
+			t.Fatalf("sortbuf=%d: converted digest differs from in-memory graph", sortBuf)
+		}
+		if err := r.VerifyDigest(); err != nil {
+			t.Errorf("sortbuf=%d: %v", sortBuf, err)
+		}
+		r.Close()
+	}
+}
+
+func TestConvertIDGapsBecomeIsolatedVertices(t *testing.T) {
+	dst := filepath.Join(t.TempDir(), "gaps.kpg")
+	info, err := ConvertEdgeList(strings.NewReader("0 2\n5 9\n"), dst, ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 10 || info.M != 2 {
+		t.Fatalf("n=%d m=%d, want n=10 m=2", info.N, info.M)
+	}
+	r, err := OpenFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, v := range []int{1, 3, 4, 6, 7, 8} {
+		if r.Degree(v) != 0 {
+			t.Errorf("gap vertex %d has degree %d", v, r.Degree(v))
+		}
+	}
+	if got := r.Neighbors(5); len(got) != 1 || got[0] != 9 {
+		t.Errorf("Neighbors(5) = %v, want [9]", got)
+	}
+}
+
+func TestConvertRejectsMalformedInput(t *testing.T) {
+	for name, input := range map[string]string{
+		"one-field":    "3\n",
+		"alpha":        "a b\n",
+		"negative-ish": "1 -2\n",
+		"huge-id":      "1 4294967296\n",
+	} {
+		dst := filepath.Join(t.TempDir(), "bad.kpg")
+		if _, err := ConvertEdgeList(strings.NewReader(input), dst, ConvertOptions{}); err == nil {
+			t.Errorf("%s: conversion accepted %q", name, input)
+		}
+	}
+}
+
+func TestConvertEmptyInput(t *testing.T) {
+	dst := filepath.Join(t.TempDir(), "empty.kpg")
+	info, err := ConvertEdgeList(strings.NewReader("# nothing\n"), dst, ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 0 || info.M != 0 {
+		t.Fatalf("n=%d m=%d, want empty", info.N, info.M)
+	}
+	r, err := OpenFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+}

@@ -1,0 +1,347 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func writeTestGraph(t *testing.T, g graph.CSR, blockVerts int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.kpg")
+	if err := WriteGraphFile(path, g, blockVerts); err != nil {
+		t.Fatalf("WriteGraphFile: %v", err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, blockVerts := range []int{1, 7, 64, 4096} {
+		g := gen.GNP(300, 0.05, 7)
+		path := writeTestGraph(t, g, blockVerts)
+		r, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("block=%d: OpenFile: %v", blockVerts, err)
+		}
+		if r.N() != g.N() || r.M() != g.M() {
+			t.Fatalf("block=%d: got n=%d m=%d, want n=%d m=%d", blockVerts, r.N(), r.M(), g.N(), g.M())
+		}
+		if r.MaxDegree() != g.MaxDegree() {
+			t.Errorf("block=%d: MaxDegree = %d, want %d", blockVerts, r.MaxDegree(), g.MaxDegree())
+		}
+		for v := 0; v < g.N(); v++ {
+			if got, want := r.Neighbors(v), g.Neighbors(v); !equalRows(got, want) {
+				t.Fatalf("block=%d: Neighbors(%d) = %v, want %v", blockVerts, v, got, want)
+			}
+			if r.Degree(v) != g.Degree(v) {
+				t.Fatalf("block=%d: Degree(%d) = %d, want %d", blockVerts, v, r.Degree(v), g.Degree(v))
+			}
+		}
+		if err := r.VerifyDigest(); err != nil {
+			t.Errorf("block=%d: VerifyDigest: %v", blockVerts, err)
+		}
+		r.Close()
+	}
+}
+
+func equalRows(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The store digest must equal the in-memory graph's canonical digest —
+// the interop property every cache key and handshake relies on.
+func TestStoredDigestMatchesGraphDigest(t *testing.T) {
+	g := gen.ChungLu(500, 9, 2.4, 11)
+	r, err := OpenFile(writeTestGraph(t, g, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.StoredDigest() != graph.Digest(g) {
+		t.Fatalf("stored digest %x != graph digest %x", r.StoredDigest(), graph.Digest(g))
+	}
+	if graph.DigestOf(r) != graph.Digest(g) {
+		t.Fatalf("DigestOf(reader) rehashed or mismatched")
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		var b graph.Builder
+		if n == 2 {
+			b.AddEdge(0, 1)
+		}
+		gg, err := b.Build(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenFile(writeTestGraph(t, gg, 0))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r.N() != n || r.M() != gg.M() {
+			t.Errorf("n=%d: got n=%d m=%d", n, r.N(), r.M())
+		}
+		if err := r.VerifyDigest(); err != nil {
+			t.Errorf("n=%d: VerifyDigest: %v", n, err)
+		}
+		r.Close()
+	}
+}
+
+func TestOpenRejectsTruncated(t *testing.T) {
+	g := gen.GNP(100, 0.1, 3)
+	path := writeTestGraph(t, g, 16)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{0, 8, headerSize - 1, headerSize, pageSize, len(raw) - 1} {
+		if size >= len(raw) {
+			continue
+		}
+		trunc := filepath.Join(t.TempDir(), "t.kpg")
+		if err := os.WriteFile(trunc, raw[:size], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenFile(trunc); err == nil {
+			t.Errorf("truncation to %d bytes: open succeeded, want error", size)
+		}
+	}
+}
+
+func TestOpenRejectsBadMagic(t *testing.T) {
+	path := writeTestGraph(t, gen.GNP(50, 0.1, 3), 0)
+	raw, _ := os.ReadFile(path)
+	raw[0] ^= 0xff
+	bad := filepath.Join(t.TempDir(), "bad.kpg")
+	os.WriteFile(bad, raw, 0o644)
+	_, err := OpenFile(bad)
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: err = %v, want magic rejection", err)
+	}
+}
+
+func TestOpenRejectsFutureVersion(t *testing.T) {
+	path := writeTestGraph(t, gen.GNP(50, 0.1, 3), 0)
+	raw, _ := os.ReadFile(path)
+	binary.LittleEndian.PutUint32(raw[8:], Version+1)
+	// Re-seal the header CRC so only the version check can fire.
+	resealHeader(raw)
+	bad := filepath.Join(t.TempDir(), "future.kpg")
+	os.WriteFile(bad, raw, 0o644)
+	_, err := OpenFile(bad)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: err = %v, want version rejection", err)
+	}
+}
+
+func TestOpenRejectsHeaderCorruption(t *testing.T) {
+	path := writeTestGraph(t, gen.GNP(50, 0.1, 3), 0)
+	raw, _ := os.ReadFile(path)
+	raw[20] ^= 0x01 // flip a bit in n without re-sealing the CRC
+	bad := filepath.Join(t.TempDir(), "crc.kpg")
+	os.WriteFile(bad, raw, 0o644)
+	if _, err := OpenFile(bad); err == nil {
+		t.Fatal("corrupt header accepted, want CRC rejection")
+	}
+}
+
+func TestVerifyDigestCatchesBlockCorruption(t *testing.T) {
+	g := gen.GNP(200, 0.08, 5)
+	path := writeTestGraph(t, g, 32)
+	raw, _ := os.ReadFile(path)
+	r0, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataOff := r0.Header().DataOff
+	r0.Close()
+	// Flip a neighbour delta deep in the data region. The header (and its
+	// CRC) stay intact, so open still succeeds — only the full verify scan
+	// can see it.
+	raw[int(dataOff)+10] ^= 0x01
+	bad := filepath.Join(t.TempDir(), "blk.kpg")
+	os.WriteFile(bad, raw, 0o644)
+	r, err := OpenFile(bad)
+	if err != nil {
+		t.Fatalf("open after data corruption should succeed (header intact): %v", err)
+	}
+	defer r.Close()
+	if err := r.VerifyDigest(); err == nil {
+		t.Fatal("VerifyDigest accepted corrupted block data")
+	}
+}
+
+// resealHeader recomputes the header CRC after a test mutates header
+// fields, mirroring Header.encode's trailer.
+func resealHeader(raw []byte) {
+	binary.LittleEndian.PutUint32(raw[headerSize-4:headerSize],
+		crc32.Checksum(raw[:headerSize-4], castagnoli))
+}
+
+func TestWriterRejectsBadRows(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		rows [][]int32
+	}{
+		{"descending", [][]int32{{2, 1}, nil, nil}},
+		{"duplicate", [][]int32{{1, 1}, nil, nil}},
+		{"out-of-range", [][]int32{{5}, nil, nil}},
+		{"self-loop", [][]int32{{0}, nil, nil}},
+	}
+	for _, tc := range cases {
+		w, err := Create(filepath.Join(dir, tc.name+".kpg"), 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rowErr error
+		for _, row := range tc.rows {
+			if rowErr = w.AddRow(row); rowErr != nil {
+				break
+			}
+		}
+		w.Abort()
+		if rowErr == nil {
+			t.Errorf("%s: AddRow accepted an invalid row", tc.name)
+		}
+	}
+}
+
+func TestWriterRejectsAsymmetry(t *testing.T) {
+	w, err := Create(filepath.Join(t.TempDir(), "asym.kpg"), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddRow([]int32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddRow(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(); err == nil || !strings.Contains(err.Error(), "symmetric") {
+		t.Fatalf("Finish on asymmetric adjacency: err = %v", err)
+	}
+}
+
+func TestWriterAtomicRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.kpg")
+	w, err := Create(path, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("final path exists before Finish")
+	}
+	w.AddRow([]int32{1}) //nolint:errcheck
+	w.AddRow([]int32{0}) //nolint:errcheck
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("final path missing after Finish: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after Finish")
+	}
+}
+
+func TestClockCacheEvicts(t *testing.T) {
+	g := gen.GNP(256, 0.05, 9)
+	r, err := OpenFileCache(writeTestGraph(t, g, 8), 2) // 32 blocks, 2 slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Sweep twice; every row must stay correct while blocks churn through
+	// the two slots, and slices handed out earlier must stay valid.
+	first := r.Neighbors(0)
+	firstCopy := append([]int32(nil), first...)
+	for pass := 0; pass < 2; pass++ {
+		for v := 0; v < g.N(); v++ {
+			if !equalRows(r.Neighbors(v), g.Neighbors(v)) {
+				t.Fatalf("pass %d: Neighbors(%d) wrong under eviction", pass, v)
+			}
+		}
+	}
+	if !equalRows(first, firstCopy) {
+		t.Fatal("slice from an evicted block was corrupted")
+	}
+}
+
+func TestBlockDecodeRejectsCorruption(t *testing.T) {
+	// A valid two-vertex block: deg=1 nbr=1 / deg=1 nbr=0 over n=2.
+	valid := appendRow(nil, []int32{1})
+	valid = appendRow(valid, []int32{0})
+	if _, err := decodeBlock(valid, 0, 2, 2); err != nil {
+		t.Fatalf("valid block rejected: %v", err)
+	}
+	cases := map[string][]byte{
+		"truncated":      valid[:len(valid)-1],
+		"trailing":       append(append([]byte{}, valid...), 0x00),
+		"degree-over-n":  {0x05, 0x01, 0x01, 0x00},
+		"neighbour-oob":  {0x01, 0x03, 0x01, 0x00},
+		"self-loop":      {0x01, 0x00, 0x01, 0x00},
+		"dup-neighbour":  {0x02, 0x01, 0x00, 0x01, 0x00},
+		"empty-nonempty": {},
+	}
+	for name, enc := range cases {
+		if _, err := decodeBlock(enc, 0, 2, 2); err == nil {
+			t.Errorf("%s: corrupt block accepted", name)
+		}
+	}
+}
+
+func TestUseAfterClosePanics(t *testing.T) {
+	r, err := OpenFile(writeTestGraph(t, gen.GNP(50, 0.1, 3), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Neighbors after Close did not panic")
+		}
+	}()
+	r.Neighbors(0)
+}
+
+func TestHeaderEncodeDecode(t *testing.T) {
+	h := Header{
+		Version: Version, Flags: flagDigest, N: 12345, M: 67890,
+		BlockVerts: 2048, NumBlocks: 7, IndexOff: pageSize,
+		DataOff: 2 * pageSize, DataLen: 999, MaxDeg: 321,
+	}
+	for i := range h.Digest {
+		h.Digest[i] = byte(i)
+	}
+	enc := h.encode()
+	// Pad to a plausible file so the extent checks pass.
+	file := make([]byte, h.DataOff+h.DataLen)
+	copy(file, enc)
+	got, err := decodeHeader(file, uint64(len(file)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Digest[:], h.Digest[:]) || got.N != h.N || got.M != h.M ||
+		got.BlockVerts != h.BlockVerts || got.NumBlocks != h.NumBlocks || got.MaxDeg != h.MaxDeg {
+		t.Fatalf("decode mismatch: %+v != %+v", got, h)
+	}
+}

@@ -1,0 +1,58 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBlockDecode drives the varint/delta block decoder with arbitrary
+// bytes. The decoder sits directly on mmap'd file content, so it must
+// reject every malformed input with an error — never panic, never accept
+// an encoding that violates the row invariants. For inputs it does
+// accept, re-encoding the decoded rows must reproduce the input bytes
+// exactly: the encoding is canonical (one valid byte string per block
+// content), which is what lets the writer hash the bytes it emits and
+// still call the result a content digest.
+func FuzzBlockDecode(f *testing.F) {
+	// Valid two-vertex block over n=2.
+	valid := appendRow(nil, []int32{1})
+	valid = appendRow(valid, []int32{0})
+	f.Add(valid, uint16(2), uint32(2))
+	// Star row: vertex 0 adjacent to 1..5 over n=6, then five empty rows.
+	star := appendRow(nil, []int32{1, 2, 3, 4, 5})
+	for i := 0; i < 5; i++ {
+		star = appendRow(star, nil)
+	}
+	f.Add(star, uint16(6), uint32(6))
+	// Corruption shapes the unit tests pin.
+	f.Add(valid[:len(valid)-1], uint16(2), uint32(2))                                                     // truncated
+	f.Add(append([]byte{0x00}, valid...), uint16(2), uint32(2))                                           // shifted
+	f.Add([]byte{0x05, 0x01, 0x01, 0x00}, uint16(2), uint32(2))                                           // degree > n
+	f.Add([]byte{0x02, 0x01, 0x00, 0x01, 0x00}, uint16(2), uint32(2))                                     // duplicate neighbour
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, uint16(1), uint32(4)) // 10-byte varint
+	f.Add([]byte{}, uint16(0), uint32(0))
+
+	f.Fuzz(func(t *testing.T, enc []byte, cnt16 uint16, n32 uint32) {
+		cnt := int(cnt16 % 4097)
+		n := int(n32 % (1 << 20))
+		blk, err := decodeBlock(enc, 0, cnt, n)
+		if err != nil {
+			return
+		}
+		re := make([]byte, 0, len(enc))
+		for i := 0; i < cnt; i++ {
+			row := blk.row(i)
+			prev := int32(-1)
+			for _, u := range row {
+				if u <= prev || int(u) >= n || int(u) == i {
+					t.Fatalf("accepted block violates row invariants: row %d = %v", i, row)
+				}
+				prev = u
+			}
+			re = appendRow(re, row)
+		}
+		if !bytes.Equal(re, enc) {
+			t.Fatalf("decode/encode not canonical: input %x re-encodes to %x", enc, re)
+		}
+	})
+}

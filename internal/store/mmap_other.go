@@ -1,0 +1,17 @@
+//go:build !linux && !darwin
+
+package store
+
+import "os"
+
+// mapFile falls back to reading the whole file on platforms without the
+// mmap syscall surface this package targets. Correctness is identical;
+// only the paging behaviour (and therefore the O(1) cold-open property)
+// is lost.
+func mapFile(f *os.File) ([]byte, func() error, error) {
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// Writer builds a store file one vertex row at a time, in vertex order.
+// It is the single write path for both the in-memory exporter
+// (WriteGraphFile) and the bounded-memory streaming converter: rows go
+// straight from the caller into the current block's encode buffer, the
+// content digest is folded in incrementally over exactly the bytes
+// written, and nothing proportional to the graph is ever held in memory.
+//
+// The file is written as <path>.tmp and atomically renamed into place by
+// Finish, so a crashed or failed conversion never leaves a half-written
+// store where a catalog scan could find it.
+type Writer struct {
+	path    string
+	tmp     string
+	f       *os.File
+	bw      *bufio.Writer
+	hdr     Header
+	digest  hash.Hash
+	offsets []uint64 // block offsets; filled as blocks close
+	buf     []byte   // current block's encoded bytes
+	nextV   int
+	arcs    uint64 // sum of row lengths (= 2m when symmetric)
+	written uint64 // data bytes flushed so far
+	done    bool
+}
+
+// Create starts writing a store file for a graph with n vertices.
+// blockVerts <= 0 selects DefaultBlockVerts. Rows must then be supplied
+// for every vertex 0..n-1 in order via AddRow, and the file is sealed by
+// Finish.
+func Create(path string, n int, blockVerts int) (*Writer, error) {
+	if n < 0 || n > 1<<31 {
+		return nil, fmt.Errorf("store: vertex count %d outside [0, 2^31]", n)
+	}
+	if blockVerts <= 0 {
+		blockVerts = DefaultBlockVerts
+	}
+	numBlocks := (uint64(n) + uint64(blockVerts) - 1) / uint64(blockVerts)
+	indexOff := uint64(pageSize)
+	indexLen := 8 * (numBlocks + 1)
+	dataOff := (indexOff + indexLen + pageSize - 1) / pageSize * pageSize
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(int64(dataOff), 0); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	w := &Writer{
+		path: path,
+		tmp:  tmp,
+		f:    f,
+		bw:   bufio.NewWriterSize(f, 1<<20),
+		hdr: Header{
+			Version:    Version,
+			Flags:      flagDigest,
+			N:          uint64(n),
+			BlockVerts: uint64(blockVerts),
+			NumBlocks:  numBlocks,
+			IndexOff:   indexOff,
+			DataOff:    dataOff,
+		},
+		digest:  sha256.New(),
+		offsets: make([]uint64, 0, numBlocks+1),
+	}
+	w.offsets = append(w.offsets, dataOff)
+	var vb [binary.MaxVarintLen64]byte
+	nw := binary.PutUvarint(vb[:], uint64(n))
+	w.digest.Write(vb[:nw])
+	return w, nil
+}
+
+// AddRow appends the next vertex's full sorted adjacency row. Rows arrive
+// in vertex order; the row must be strictly ascending, in [0,n), and free
+// of self-loops — the invariants every reader of the format relies on are
+// enforced at write time, not trusted.
+func (w *Writer) AddRow(row []int32) error {
+	v := w.nextV
+	if uint64(v) >= w.hdr.N {
+		return fmt.Errorf("store: AddRow past declared vertex count %d", w.hdr.N)
+	}
+	prev := int32(-1)
+	for _, u := range row {
+		if u < 0 || uint64(u) >= w.hdr.N {
+			return fmt.Errorf("store: vertex %d: neighbour %d out of range (n=%d)", v, u, w.hdr.N)
+		}
+		if u <= prev {
+			return fmt.Errorf("store: vertex %d: adjacency not strictly ascending at %d", v, u)
+		}
+		if int(u) == v {
+			return fmt.Errorf("store: self-loop on vertex %d", v)
+		}
+		prev = u
+	}
+	if d := uint64(len(row)); d > w.hdr.MaxDeg {
+		w.hdr.MaxDeg = d
+	}
+	w.arcs += uint64(len(row))
+	w.buf = appendRow(w.buf, row)
+	w.nextV++
+	if w.nextV%int(w.hdr.BlockVerts) == 0 {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return err
+	}
+	w.digest.Write(w.buf)
+	w.written += uint64(len(w.buf))
+	w.offsets = append(w.offsets, w.hdr.DataOff+w.written)
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Abort discards the partially written file.
+func (w *Writer) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.f.Close()
+	os.Remove(w.tmp)
+}
+
+// Finish seals the file: the last partial block and the index are
+// flushed, the header (edge count, max degree, digest) is patched in,
+// everything is fsynced and the temp file is renamed over path.
+func (w *Writer) Finish() error {
+	if w.done {
+		return fmt.Errorf("store: Finish on a finished writer")
+	}
+	if uint64(w.nextV) != w.hdr.N {
+		w.Abort()
+		return fmt.Errorf("store: Finish after %d of %d rows", w.nextV, w.hdr.N)
+	}
+	if w.arcs%2 != 0 {
+		w.Abort()
+		return fmt.Errorf("store: adjacency is not symmetric (odd directed arc count %d)", w.arcs)
+	}
+	if w.hdr.N > 0 && w.hdr.N%w.hdr.BlockVerts != 0 {
+		if err := w.flushBlock(); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.Abort()
+		return err
+	}
+	w.hdr.DataLen = w.written
+	w.hdr.M = w.arcs / 2
+	w.digest.Sum(w.hdr.Digest[:0])
+
+	index := make([]byte, 8*len(w.offsets))
+	for i, off := range w.offsets {
+		binary.LittleEndian.PutUint64(index[8*i:], off)
+	}
+	if _, err := w.f.WriteAt(index, int64(w.hdr.IndexOff)); err != nil {
+		w.Abort()
+		return err
+	}
+	if _, err := w.f.WriteAt(w.hdr.encode(), 0); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		w.done = true
+		os.Remove(w.tmp)
+		return err
+	}
+	w.done = true
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(w.path))
+}
+
+// syncDir fsyncs a directory so a rename survives a crash. Best-effort:
+// some filesystems refuse directory fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync() //nolint:errcheck
+	return nil
+}
+
+// WriteGraphFile exports any CSR source (an in-memory graph, typically)
+// to a store file at path.
+func WriteGraphFile(path string, g graph.CSR, blockVerts int) error {
+	w, err := Create(path, g.N(), blockVerts)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if err := w.AddRow(g.Neighbors(v)); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	return w.Finish()
+}

@@ -374,7 +374,12 @@ func ReverseSearchEnumerate(g *Graph, k, q, maxSolutions int) ([][]int, error) {
 // ReduceCTCP applies the kPlexS-style core-truss co-pruning reduction: the
 // returned graph (same vertex id space) contains every k-plex with at
 // least q vertices of g. Enumerating either graph yields identical results.
-func ReduceCTCP(g *Graph, k, q int) *Graph { return kplex.ReduceCTCP(g, k, q) }
+func ReduceCTCP(g *Graph, k, q int) *Graph {
+	// The internal reduction accepts any CSR source; with a *Graph input
+	// it returns either the input itself (no rule fired) or a rebuilt
+	// in-memory graph, so the assertion below always holds.
+	return graph.Materialize(kplex.ReduceCTCP(g, k, q))
+}
 
 // D2KEnumerate lists maximal k-plexes with the standalone D2K-style
 // baseline (diameter-2 block decomposition + Bron-Kerbosch, slice sets).
