@@ -14,6 +14,7 @@
 //	kplexbench -ext batch      # extension: batched q-sweep amortization
 //	kplexbench -ext kernels    # extension: dense-vs-merge seed kernels
 //	kplexbench -ext store      # extension: out-of-core graph store
+//	kplexbench -ext qos        # extension: weighted-fair admission + sampling estimates
 //	kplexbench -json FILE      # write the selected extension's machine-readable
 //	                           # snapshot to FILE; alone it implies -ext jobs
 //	                           # (defaults: BENCH_jobs.json / BENCH_prepare.json /
@@ -37,7 +38,7 @@ func main() {
 	var (
 		table    = flag.Int("table", 0, "regenerate one table (2-7)")
 		figure   = flag.Int("figure", 0, "regenerate one figure (7, 8, 9, 13)")
-		ext      = flag.String("ext", "", "extension experiment: ubcolor, maximum, scheduler, jobs, prepare, batch, kernels or store")
+		ext      = flag.String("ext", "", "extension experiment: ubcolor, maximum, scheduler, jobs, prepare, batch, kernels, store or qos")
 		all      = flag.Bool("all", false, "regenerate everything")
 		quick    = flag.Bool("quick", false, "representative subset only")
 		threads  = flag.Int("threads", 0, "parallel worker count (default min(16, CPUs))")
@@ -67,6 +68,10 @@ func main() {
 	if storeJSON == "" {
 		storeJSON = "BENCH_store.json"
 	}
+	qosJSON := *jsonPath
+	if qosJSON == "" {
+		qosJSON = "BENCH_qos.json"
+	}
 
 	type job struct {
 		name string
@@ -94,12 +99,13 @@ func main() {
 		"batch":     {name: "Batched-sweep amortization (extension)", run: func() error { return cfg.BatchBench(batchJSON) }, ext: true},
 		"kernels":   {name: "Seed-kernel dense-vs-merge (extension)", run: func() error { return cfg.KernelsBench(kernelsJSON) }, ext: true},
 		"store":     {name: "Out-of-core graph store (extension)", run: func() error { return cfg.StoreBench(storeJSON) }, ext: true},
+		"qos":       {name: "Multi-tenant QoS (extension)", run: func() error { return cfg.QoSBench(qosJSON) }, ext: true},
 	}
 	order := []string{
 		"table2", "table3", "figure7", "table4", "figure8",
 		"table5", "table6", "figure9", "figure13", "figure14",
 		"figure15", "table7", "ubcolor", "maximum", "scheduler",
-		"jobs", "prepare", "batch", "kernels", "store",
+		"jobs", "prepare", "batch", "kernels", "store", "qos",
 	}
 
 	var selected []string

@@ -64,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/qos"
 	"repro/internal/server"
 )
 
@@ -87,6 +88,7 @@ func run() error {
 		maxGraphs    = flag.Int("max-graphs", 8, "resident graph cap (idle graphs beyond it are evicted LRU)")
 		cacheEntries = flag.Int("cache", 256, "result cache capacity (completed queries)")
 		maxConc      = flag.Int("max-concurrent", 0, "concurrent enumeration bound (0: NumCPU)")
+		tenants      = flag.String("tenants", "", `per-tenant QoS profiles, e.g. "gold:weight=3,rate=50,burst=100;bronze:weight=1,max=2" (tenant from the X-Kplexd-Tenant header; empty: all tenants equal)`)
 		admitWait    = flag.Duration("admission-timeout", 2*time.Second, "how long a query waits for a slot before 429")
 		queryBudget  = flag.Duration("query-timeout", 5*time.Minute, "time budget of one cacheable enumeration")
 		threads      = flag.Int("threads", 0, "default engine threads per query (0: NumCPU)")
@@ -115,6 +117,11 @@ func run() error {
 		coordDir = *clusterDir
 	}
 
+	tenantCfg, err := qos.ParseTenants(*tenants)
+	if err != nil {
+		return fmt.Errorf("-tenants: %w", err)
+	}
+
 	srv, err := server.New(server.Config{
 		DataDir:             *dataDir,
 		CatalogDir:          *catalogDir,
@@ -123,6 +130,7 @@ func run() error {
 		MaxResidentGraphs:   *maxGraphs,
 		CacheEntries:        *cacheEntries,
 		MaxConcurrent:       *maxConc,
+		Tenants:             tenantCfg,
 		AdmissionTimeout:    *admitWait,
 		QueryTimeout:        *queryBudget,
 		DefaultThreads:      *threads,

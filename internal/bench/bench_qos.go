@@ -1,0 +1,333 @@
+package bench
+
+// The QoS benchmark: (1) weighted-fair admission — two tenants with a 3:1
+// weight ratio saturate a small slot pool with fixed-hold work and the
+// measured goodput shares must track the weights; (2) seed-sampling
+// estimates — every golden-corpus cell is enumerated exactly and under a
+// 0.1 sampling rate, recording speedup, relative error and whether the
+// exact count falls inside the reported 95% confidence interval. The
+// snapshot (BENCH_qos.json) pins both service-level properties across PRs.
+
+import (
+	"context"
+	"encoding/json"
+	"hash/fnv"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/kplex"
+	"repro/internal/qos"
+)
+
+// QoSTenantGoodput is one tenant's share of a saturated slot pool.
+type QoSTenantGoodput struct {
+	Name      string  `json:"name"`
+	Weight    float64 `json:"weight"`
+	Completed int64   `json:"completed"`
+	Share     float64 `json:"share"`     // completed / total
+	WantShare float64 `json:"wantShare"` // weight / sum(weights)
+	DevPct    float64 `json:"devPct"`    // |share - wantShare| / wantShare * 100
+}
+
+// QoSFairnessReport is the weighted-fair admission half of BENCH_qos.json.
+type QoSFairnessReport struct {
+	Slots      int                `json:"slots"`
+	HoldMS     float64            `json:"holdMs"`     // slot hold per admitted unit of work
+	DurationMS float64            `json:"durationMs"` // saturation window
+	Tenants    []QoSTenantGoodput `json:"tenants"`
+	MaxDevPct  float64            `json:"maxDevPct"`
+}
+
+// QoSSampleCell is one golden-corpus cell measured exactly and sampled.
+type QoSSampleCell struct {
+	Graph         string  `json:"graph"`
+	K             int     `json:"k"`
+	Q             int     `json:"q"`
+	Seeds         int     `json:"seeds"`
+	SampledSeeds  int     `json:"sampledSeeds"`
+	RateRequested float64 `json:"rateRequested"`
+	RateEffective float64 `json:"rateEffective"` // after the min-sample floor
+	ExactCount    int64   `json:"exactCount"`
+	Estimate      float64 `json:"estimate"`
+	CI95Lo        float64 `json:"ci95Lo"`
+	CI95Hi        float64 `json:"ci95Hi"`
+	RelErrPct     float64 `json:"relErrPct"`
+	Covered       bool    `json:"covered"` // exact inside [ci95Lo, ci95Hi]
+	ExactMS       float64 `json:"exactMs"`
+	SampleMS      float64 `json:"sampleMs"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// QoSBenchReport is the BENCH_qos.json document. CICoverage is measured
+// the same way the engine's acceptance test does: per-seed counts are
+// independent, so one exact enumeration per cell yields the ground-truth
+// vector and the coverage sweep re-draws the sample under many salts
+// without re-enumerating.
+type QoSBenchReport struct {
+	Tool          string            `json:"tool"`
+	Threads       int               `json:"threads"`
+	Fairness      QoSFairnessReport `json:"fairness"`
+	SampleRate    float64           `json:"sampleRate"`
+	Cells         []QoSSampleCell   `json:"cells"`
+	CoverageDraws int               `json:"coverageDraws"` // cells x salts with a variance estimate
+	CICoverage    float64           `json:"ciCoverage"`    // fraction of draws with exact inside the CI
+	MeanRelErr    float64           `json:"meanRelErrPct"`
+	MeanSpeedup   float64           `json:"meanSpeedup"`
+}
+
+// qosFairness saturates a slot pool from two tenants with a 3:1 weight
+// ratio. Every admitted unit of work holds its slot for the same fixed
+// time, so completed counts are a direct read of the admission shares the
+// stride scheduler granted.
+func (c *Config) qosFairness() QoSFairnessReport {
+	const slots = 4
+	hold := 2 * time.Millisecond
+	dur := 1500 * time.Millisecond
+	if c.Quick {
+		dur = 500 * time.Millisecond
+	}
+	tenants := []qos.TenantConfig{
+		{Name: "gold", Weight: 3},
+		{Name: "bronze", Weight: 1},
+	}
+	ctrl := qos.NewController(slots, tenants)
+
+	ctx, cancel := context.WithTimeout(context.Background(), dur)
+	defer cancel()
+	counts := make([]int64, len(tenants))
+	var wg sync.WaitGroup
+	for ti := range tenants {
+		// More greedy workers per tenant than slots: both tenants always
+		// have a waiter queued, which is the regime weighted fairness is
+		// defined over.
+		for w := 0; w < 2*slots; w++ {
+			wg.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				for {
+					release, err := ctrl.Admit(ctx, tenants[ti].Name)
+					if err != nil {
+						return
+					}
+					time.Sleep(hold)
+					release()
+					atomic.AddInt64(&counts[ti], 1)
+				}
+			}(ti)
+		}
+	}
+	wg.Wait()
+
+	report := QoSFairnessReport{
+		Slots:      slots,
+		HoldMS:     float64(hold) / float64(time.Millisecond),
+		DurationMS: float64(dur) / float64(time.Millisecond),
+	}
+	var total int64
+	var weightSum float64
+	for ti := range tenants {
+		total += counts[ti]
+		weightSum += tenants[ti].Weight
+	}
+	for ti, tc := range tenants {
+		tg := QoSTenantGoodput{
+			Name:      tc.Name,
+			Weight:    tc.Weight,
+			Completed: counts[ti],
+			WantShare: tc.Weight / weightSum,
+		}
+		if total > 0 {
+			tg.Share = float64(counts[ti]) / float64(total)
+			tg.DevPct = math.Abs(tg.Share-tg.WantShare) / tg.WantShare * 100
+		}
+		if tg.DevPct > report.MaxDevPct {
+			report.MaxDevPct = tg.DevPct
+		}
+		report.Tenants = append(report.Tenants, tg)
+	}
+	return report
+}
+
+// qosBenchCombos mirrors the golden-corpus cells, the same grid the
+// engine-level sampling tests verify coverage on.
+func qosBenchCombos(name string) [][2]int {
+	switch name {
+	case "gnp-dense":
+		return [][2]int{{2, 6}, {3, 7}}
+	case "regular-flat":
+		return [][2]int{{2, 4}, {3, 6}}
+	default:
+		return [][2]int{{2, 6}, {3, 8}}
+	}
+}
+
+// qosSampleSalt derives the deterministic per-cell sampling salt, the same
+// construction the server uses (graph identity + cell + rate).
+func qosSampleSalt(name string, k, q int, rate float64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{byte(k), byte(q), byte(rate * 100)})
+	return h.Sum64()
+}
+
+// coverageSweep re-draws a cell's sample under a spread of salts against
+// the exact per-seed count vector and reports how many of the draws'
+// 95% confidence intervals covered the exact total. Seed groups are
+// independent, so a draw's raw counts are exactly the selected entries of
+// the vector and the sweep costs no further enumeration.
+func coverageSweep(perSeed []int64, eff float64) (draws, covered int) {
+	salts := []uint64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987}
+	var exact int64
+	for _, n := range perSeed {
+		exact += n
+	}
+	for _, salt := range salts {
+		skip, kept, err := kplex.SampleSeeds(len(perSeed), eff, salt)
+		if err != nil {
+			continue
+		}
+		sampled := make([]int64, 0, kept)
+		for s := range perSeed {
+			if !skip.Contains(s) {
+				sampled = append(sampled, perSeed[s])
+			}
+		}
+		est := kplex.EstimateCount(len(perSeed), sampled, eff)
+		if est.SampledSeeds < 2 {
+			continue // no variance estimate possible
+		}
+		draws++
+		if float64(exact) >= est.CI95Lo && float64(exact) <= est.CI95Hi {
+			covered++
+		}
+	}
+	return draws, covered
+}
+
+// QoSBench measures weighted-fair goodput and sampling-estimate quality,
+// writing the JSON snapshot to jsonPath (plus a table to Config.Out).
+func (c *Config) QoSBench(jsonPath string) error {
+	const rate = 0.1
+	threads := c.threads()
+	report := QoSBenchReport{Tool: "kplexbench -ext qos", Threads: threads, SampleRate: rate}
+
+	c.printf("QoS benchmark: weighted-fair admission and sampling estimates (threads=%d)\n", threads)
+	report.Fairness = c.qosFairness()
+	for _, tg := range report.Fairness.Tenants {
+		c.printf("tenant %-8s weight %.0f: %5d completed, share %.3f (want %.3f, dev %.1f%%)\n",
+			tg.Name, tg.Weight, tg.Completed, tg.Share, tg.WantShare, tg.DevPct)
+	}
+
+	c.printf("%-16s %3s %3s %6s %7s %10s %12s %10s %8s %8s\n",
+		"graph", "k", "q", "seeds", "n", "exact", "estimate", "relerr", "covered", "speedup")
+	var draws, covered int
+	for _, cg := range gen.Corpus() {
+		g := cg.Build()
+		for _, kq := range qosBenchCombos(cg.Name) {
+			k, q := kq[0], kq[1]
+			cell := QoSSampleCell{Graph: cg.Name, K: k, Q: q, RateRequested: rate}
+
+			opts := kplex.NewOptions(k, q)
+			opts.Threads = threads
+			total, err := kplex.SeedSpace(g, opts)
+			if err != nil {
+				return err
+			}
+			cell.Seeds = total
+
+			// The exact run also records the per-seed count vector: seed
+			// groups are independent, so the coverage sweep below re-draws
+			// samples from it without re-enumerating.
+			var exactMu sync.Mutex
+			exactPerSeed := make([]int64, total)
+			opts.OnPlexSeed = func(seed int, _ []int) {
+				exactMu.Lock()
+				exactPerSeed[seed]++
+				exactMu.Unlock()
+			}
+			exactStart := time.Now()
+			res, err := kplex.Run(context.Background(), g, opts)
+			if err != nil {
+				return err
+			}
+			cell.ExactMS = float64(time.Since(exactStart)) / float64(time.Millisecond)
+			cell.ExactCount = res.Count
+
+			eff := kplex.EffectiveSampleRate(total, rate, 0)
+			cell.RateEffective = eff
+			skip, kept, err := kplex.SampleSeeds(total, eff, qosSampleSalt(cg.Name, k, q, eff))
+			if err != nil {
+				return err
+			}
+			var mu sync.Mutex
+			perSeed := make(map[int]int64, kept)
+			sopts := opts
+			sopts.SkipSeeds = skip
+			sopts.OnPlexSeed = func(seed int, _ []int) {
+				mu.Lock()
+				perSeed[seed]++
+				mu.Unlock()
+			}
+			sampleStart := time.Now()
+			if _, err := kplex.Run(context.Background(), g, sopts); err != nil {
+				return err
+			}
+			cell.SampleMS = float64(time.Since(sampleStart)) / float64(time.Millisecond)
+
+			counts := make([]int64, 0, kept)
+			for seed := 0; seed < total; seed++ {
+				if !skip.Contains(seed) {
+					counts = append(counts, perSeed[seed])
+				}
+			}
+			est := kplex.EstimateCount(total, counts, eff)
+			cell.SampledSeeds = est.SampledSeeds
+			cell.Estimate = est.Count
+			cell.CI95Lo, cell.CI95Hi = est.CI95Lo, est.CI95Hi
+			if cell.ExactCount > 0 {
+				cell.RelErrPct = math.Abs(est.Count-float64(cell.ExactCount)) / float64(cell.ExactCount) * 100
+			}
+			cell.Covered = float64(cell.ExactCount) >= est.CI95Lo && float64(cell.ExactCount) <= est.CI95Hi
+			if cell.SampleMS > 0 {
+				cell.Speedup = cell.ExactMS / cell.SampleMS
+			}
+			d, dc := coverageSweep(exactPerSeed, eff)
+			draws += d
+			covered += dc
+			report.Cells = append(report.Cells, cell)
+			c.printf("%-16s %3d %3d %6d %7d %10d %12.1f %9.2f%% %8v %7.2fx\n",
+				cg.Name, k, q, cell.Seeds, cell.SampledSeeds, cell.ExactCount,
+				cell.Estimate, cell.RelErrPct, cell.Covered, cell.Speedup)
+		}
+	}
+
+	if n := len(report.Cells); n > 0 {
+		var relSum, spdSum float64
+		for _, cell := range report.Cells {
+			relSum += cell.RelErrPct
+			spdSum += cell.Speedup
+		}
+		report.MeanRelErr = relSum / float64(n)
+		report.MeanSpeedup = spdSum / float64(n)
+	}
+	report.CoverageDraws = draws
+	if draws > 0 {
+		report.CICoverage = float64(covered) / float64(draws)
+	}
+	c.printf("fairness max deviation %.1f%%; CI coverage %.0f%% over %d draws, mean relerr %.2f%%, mean speedup %.2fx\n",
+		report.Fairness.MaxDevPct, report.CICoverage*100, draws, report.MeanRelErr, report.MeanSpeedup)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	c.printf("wrote %s\n", jsonPath)
+	return nil
+}

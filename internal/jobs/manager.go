@@ -78,6 +78,7 @@ type Spec struct {
 	Threads   int        `json:"threads,omitempty"`   // 0: manager default
 	Scheduler string     `json:"scheduler,omitempty"` // "", stages, global-queue, steal
 	Priority  int        `json:"priority,omitempty"`  // higher runs first
+	Tenant    string     `json:"tenant,omitempty"`    // QoS tenant the job belongs to ("" = default)
 }
 
 // SpecItem is one query of a batch job: a (k, q) cell with its own top-k
@@ -242,10 +243,17 @@ type Config struct {
 	// (default NumCPU).
 	DefaultThreads int
 	// Admit, when non-nil, gates each job's enumeration on the host's
-	// admission control (kplexd passes its query semaphore, so background
-	// jobs and interactive queries share one capacity budget). Jobs block
-	// until a slot frees rather than being rejected.
-	Admit func(ctx context.Context) (release func(), err error)
+	// admission control (kplexd passes its QoS controller, so background
+	// jobs and interactive queries share one capacity budget), identified
+	// by the submitting tenant. Jobs block until a slot frees rather than
+	// being rejected.
+	Admit func(ctx context.Context, tenant string) (release func(), err error)
+	// TenantWeight, when non-nil, maps a tenant name to its weighted-fair
+	// share of the job worker pool: under a backlog, tenants' started-job
+	// counts converge to their weight ratios instead of strict FIFO. Nil —
+	// or any non-positive return — means weight 1. Priority still orders
+	// jobs within one tenant.
+	TenantWeight func(tenant string) float64
 	// ObserveCost, when non-nil, receives the (prologue features, measured
 	// enumeration runtime) pair of each completed single-traversal job that
 	// ran start to finish in one incarnation. kplexd wires it to its cost
@@ -360,7 +368,9 @@ type Manager struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	jobs   map[string]*job
-	queue  jobQueue
+	queues map[string]*tenantQueue // per-tenant priority heaps, drained weighted-fair
+	queued int                     // total jobs across queues
+	qclock float64                 // stride scheduler's virtual clock
 	closed bool
 
 	wg       sync.WaitGroup
@@ -392,7 +402,7 @@ func Open(cfg Config) (*Manager, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	m := &Manager{cfg: cfg, jobs: make(map[string]*job)}
+	m := &Manager{cfg: cfg, jobs: make(map[string]*job), queues: make(map[string]*tenantQueue)}
 	m.cond = sync.NewCond(&m.mu)
 	m.ctx, m.stop = context.WithCancel(context.Background())
 	if err := m.recover(); err != nil {
@@ -546,15 +556,83 @@ func newJobID() string {
 
 // Submit validates spec, persists a queued job and wakes a worker.
 func (m *Manager) Submit(spec Spec) (*Manifest, error) {
+	if err := m.normalizeSpec(&spec); err != nil {
+		return nil, err
+	}
+	return m.persistAndEnqueue(spec, nil)
+}
+
+// SubmitResumable persists a queued job born with durable progress: the
+// server's deadline-partial query path hands over the seeds it completed
+// before the deadline plus their merged aggregate, and the job enumerates
+// only the remainder — the "resume token" a partial answer carries. The
+// progress is written as the job's first WAL record before the job is
+// queued, so a crash between submission and the first run loses nothing.
+// An empty done-set (or nil aggregate) degenerates to a plain Submit.
+func (m *Manager) SubmitResumable(spec Spec, digest string, totalSeeds int, doneSeeds []int, agg *Aggregate, enumMS float64) (*Manifest, error) {
+	if len(spec.Items) > 0 {
+		return nil, errors.New("jobs: a resumable submission must be a single query")
+	}
+	if len(doneSeeds) == 0 || agg == nil {
+		return m.Submit(spec)
+	}
+	if digest == "" || totalSeeds <= 0 {
+		return nil, errors.New("jobs: a resumable submission needs the graph digest and seed-space size its done-seeds refer to")
+	}
+	seen := make(map[int]bool, len(doneSeeds))
+	for _, s := range doneSeeds {
+		if s < 0 || s >= totalSeeds {
+			return nil, fmt.Errorf("jobs: done seed %d outside the %d-seed space", s, totalSeeds)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("jobs: duplicate done seed %d", s)
+		}
+		seen[s] = true
+	}
+	if err := m.normalizeSpec(&spec); err != nil {
+		return nil, err
+	}
+	seeds := append([]int(nil), doneSeeds...)
+	snap := agg.snapshot() // sealed private copy: the WAL payload and the armed runtime state
+	return m.persistAndEnqueue(spec, func(j *job) error {
+		w, err := openWAL(filepath.Join(j.dir, walName), 0)
+		if err != nil {
+			return err
+		}
+		if err := w.append(&walRecord{Seeds: seeds, Agg: snap, EnumMS: enumMS}); err != nil {
+			w.Close() //nolint:errcheck // append already failed
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		m.counters.Checkpoints.Add(1)
+		m.counters.SeedsDone.Add(int64(len(seeds)))
+		j.man.Digest = digest
+		j.man.TotalSeeds = totalSeeds
+		j.man.SeedsDone = len(seeds)
+		j.man.EnumMS = enumMS
+		j.progress.SeedsDone = len(seeds)
+		j.progress.TotalSeeds = totalSeeds
+		// Arm the runner directly instead of re-reading the record it just
+		// wrote; the WAL stays the durable twin for a restart in between.
+		j.resume = &walReplay{doneSeeds: seeds, aggs: []*Aggregate{snap}, lastSeq: 1, enumMS: enumMS}
+		return nil
+	})
+}
+
+// normalizeSpec validates spec and applies submission-time defaults (the
+// top-k budgets), mutating it in place.
+func (m *Manager) normalizeSpec(spec *Spec) error {
 	if spec.Graph == "" {
-		return nil, errors.New("jobs: graph is required")
+		return errors.New("jobs: graph is required")
 	}
 	if len(spec.Items) > 0 {
 		if spec.K != 0 || spec.Q != 0 || spec.TopN != 0 {
-			return nil, errors.New("jobs: a batch spec sets items only; leave the top-level k, q and topn zero")
+			return errors.New("jobs: a batch spec sets items only; leave the top-level k, q and topn zero")
 		}
 		if len(spec.Items) > maxSpecItems {
-			return nil, fmt.Errorf("jobs: too many items (%d, max %d)", len(spec.Items), maxSpecItems)
+			return fmt.Errorf("jobs: too many items (%d, max %d)", len(spec.Items), maxSpecItems)
 		}
 		// Default the budgets on a private copy: the caller owns the slice's
 		// backing array, and Submit must not write through it.
@@ -565,7 +643,7 @@ func (m *Manager) Submit(spec Spec) (*Manifest, error) {
 				it.TopN = m.cfg.DefaultTopN
 			}
 			if it.TopN < 1 || it.TopN > m.cfg.MaxTopN {
-				return nil, fmt.Errorf("jobs: item %d: topn must be in [1, %d], got %d", i, m.cfg.MaxTopN, it.TopN)
+				return fmt.Errorf("jobs: item %d: topn must be in [1, %d], got %d", i, m.cfg.MaxTopN, it.TopN)
 			}
 		}
 	} else {
@@ -573,13 +651,21 @@ func (m *Manager) Submit(spec Spec) (*Manifest, error) {
 			spec.TopN = m.cfg.DefaultTopN
 		}
 		if spec.TopN < 1 || spec.TopN > m.cfg.MaxTopN {
-			return nil, fmt.Errorf("jobs: topn must be in [1, %d], got %d", m.cfg.MaxTopN, spec.TopN)
+			return fmt.Errorf("jobs: topn must be in [1, %d], got %d", m.cfg.MaxTopN, spec.TopN)
 		}
 	}
 	if _, _, err := spec.queries(m.cfg.DefaultThreads); err != nil {
-		return nil, err
+		return err
 	}
+	return nil
+}
 
+// persistAndEnqueue creates the job directory, runs init (if any) to lay
+// down extra durable state before the manifest, writes the manifest and
+// enqueues the job. The job becomes durable before it becomes runnable, so
+// a crash between the two leaves a recoverable directory, never a running
+// ghost.
+func (m *Manager) persistAndEnqueue(spec Spec, init func(j *job) error) (*Manifest, error) {
 	m.mu.Lock()
 	closed := m.closed
 	m.mu.Unlock()
@@ -601,6 +687,12 @@ func (m *Manager) Submit(spec Spec) (*Manifest, error) {
 	if err := os.MkdirAll(j.dir, 0o755); err != nil {
 		return nil, err
 	}
+	if init != nil {
+		if err := init(j); err != nil {
+			os.RemoveAll(j.dir) //nolint:errcheck // best effort on failed init
+			return nil, err
+		}
+	}
 	if err := writeManifest(j.dir, &j.man); err != nil {
 		return nil, err
 	}
@@ -621,12 +713,57 @@ func (m *Manager) Submit(spec Spec) (*Manifest, error) {
 	return &man, nil
 }
 
-// enqueueLocked pushes j and signals one worker. Caller holds m.mu (or is
-// inside single-threaded recovery).
+// enqueueLocked pushes j onto its tenant's queue and signals one worker.
+// Caller holds m.mu (or is inside single-threaded recovery).
 func (m *Manager) enqueueLocked(j *job) {
-	heap.Push(&m.queue, j)
+	tenant := j.man.Spec.Tenant
+	tq := m.queues[tenant]
+	if tq == nil {
+		tq = &tenantQueue{}
+		m.queues[tenant] = tq
+	}
+	heap.Push(&tq.heap, j)
+	m.queued++
 	m.counters.Queued.Add(1)
 	m.cond.Signal()
+}
+
+// popLocked removes and returns the next job to run: the tenant with the
+// smallest stride pass among those with queued jobs goes first, its pass
+// advancing by 1/weight per started job — so under a backlog, started-job
+// counts converge to weight ratios, while a single-tenant deployment
+// degenerates to the old priority/FIFO order exactly. Caller holds m.mu
+// and has checked m.queued > 0.
+func (m *Manager) popLocked() *job {
+	var bestName string
+	var best *tenantQueue
+	for name, tq := range m.queues {
+		if tq.heap.Len() == 0 {
+			continue
+		}
+		if best == nil || tq.pass < best.pass || (tq.pass == best.pass && name < bestName) {
+			best, bestName = tq, name
+		}
+	}
+	weight := 1.0
+	if m.cfg.TenantWeight != nil {
+		if w := m.cfg.TenantWeight(bestName); w > 0 {
+			weight = w
+		}
+	}
+	// An idle tenant rejoins at the virtual clock rather than its stale
+	// pass, so idling banks no credit.
+	start := max(best.pass, m.qclock)
+	best.pass = start + 1/weight
+	m.qclock = start
+	m.queued--
+	return heap.Pop(&best.heap).(*job)
+}
+
+// tenantQueue is one tenant's job backlog plus its stride-scheduling pass.
+type tenantQueue struct {
+	heap jobQueue
+	pass float64
 }
 
 // Get returns one job's view.
@@ -835,14 +972,14 @@ func (m *Manager) workerLoop() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for len(m.queue) == 0 && !m.closed {
+		for m.queued == 0 && !m.closed {
 			m.cond.Wait()
 		}
 		if m.closed {
 			m.mu.Unlock()
 			return
 		}
-		j := heap.Pop(&m.queue).(*job)
+		j := m.popLocked()
 		m.mu.Unlock()
 		m.counters.Queued.Add(-1)
 

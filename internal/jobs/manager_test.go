@@ -299,7 +299,7 @@ func TestShutdownResume(t *testing.T) {
 	// admission. The on-disk state must still be resumable afterwards.
 	gate := make(chan struct{})
 	m2 := openTestManager(t, dir, func(c *Config) {
-		c.Admit = func(ctx context.Context) (func(), error) {
+		c.Admit = func(ctx context.Context, _ string) (func(), error) {
 			select {
 			case <-gate:
 				return func() {}, nil
@@ -388,7 +388,7 @@ func TestCancelQueuedAndDelete(t *testing.T) {
 	dir := t.TempDir()
 	gate := make(chan struct{})
 	m := openTestManager(t, dir, func(c *Config) {
-		c.Admit = func(ctx context.Context) (func(), error) {
+		c.Admit = func(ctx context.Context, _ string) (func(), error) {
 			select {
 			case <-gate:
 				return func() {}, nil
@@ -440,8 +440,10 @@ func TestCancelQueuedAndDelete(t *testing.T) {
 
 func TestPriorityOrdering(t *testing.T) {
 	gate := make(chan struct{})
+	parked := make(chan struct{}, 3)
 	m := openTestManager(t, t.TempDir(), func(c *Config) {
-		c.Admit = func(ctx context.Context) (func(), error) {
+		c.Admit = func(ctx context.Context, _ string) (func(), error) {
+			parked <- struct{}{}
 			select {
 			case <-gate:
 				return func() {}, nil
@@ -456,6 +458,12 @@ func TestPriorityOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Wait for the worker to pick the blocker up (it is the only queued
+	// job) before submitting the contenders: otherwise a slow worker
+	// wakeup can leave the higher-priority of the two parked in admission
+	// while the other is still unsubmitted, inverting the start order the
+	// test asserts.
+	<-parked
 	low, err := m.Submit(Spec{Graph: "corpus:planted-a", K: 2, Q: 7, Priority: 1})
 	if err != nil {
 		t.Fatal(err)

@@ -190,7 +190,7 @@ func (m *Manager) runJobInner(j *job, runCtx context.Context, cancel context.Can
 	// Share the host's enumeration capacity with interactive queries.
 	if m.cfg.Admit != nil {
 		admitSpan := t.StartSpan("admission")
-		releaseSlot, err := m.cfg.Admit(runCtx)
+		releaseSlot, err := m.cfg.Admit(runCtx, spec.Tenant)
 		admitSpan.EndErr(err)
 		if err != nil {
 			return m.interruptCause(runCtx, err)

@@ -1,0 +1,147 @@
+package kplex
+
+// Deadline-bounded partial answers. A Collector buffers per-seed results
+// through the OnPlexSeed hook and commits a seed's contribution only when
+// its OnSeedDone fires — the same commit discipline the durable-jobs WAL
+// uses. Because the engine suppresses OnSeedDone for groups interrupted by
+// cancellation (and delivers every OnPlexSeed of a group before its
+// OnSeedDone), the collector's totals after a deadline-cancelled run count
+// exactly the fully-enumerated seed groups: a true lower bound of the
+// exact answer, with a done-set that resumes (via Options.SkipSeeds) to
+// precisely the remainder.
+
+import "sync"
+
+// seedTally is one in-flight seed group's buffered contribution.
+type seedTally struct {
+	count   int64
+	maxSize int
+	hist    map[int]int64
+}
+
+// Collector accumulates committed per-seed results. Install wires it into
+// an Options value (chaining any hooks already present); all accessors are
+// safe to call after the run returns, or concurrently with it.
+type Collector struct {
+	mu      sync.Mutex
+	pending map[int]*seedTally
+	done    *SeedSet
+	count   int64
+	maxSize int
+	hist    map[int]int64
+	stats   Stats
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{
+		pending: make(map[int]*seedTally),
+		done:    NewSeedSet(),
+		hist:    make(map[int]int64),
+	}
+}
+
+// Install chains the collector's buffering into o's OnPlexSeed and
+// OnSeedDone hooks, preserving any hooks already set (they run after the
+// collector records the event).
+func (c *Collector) Install(o *Options) {
+	prevPlex := o.OnPlexSeed
+	o.OnPlexSeed = func(seed int, plex []int) {
+		c.onPlex(seed, len(plex))
+		if prevPlex != nil {
+			prevPlex(seed, plex)
+		}
+	}
+	prevDone := o.OnSeedDone
+	o.OnSeedDone = func(seed int, partial Stats) {
+		c.onSeedDone(seed, partial)
+		if prevDone != nil {
+			prevDone(seed, partial)
+		}
+	}
+}
+
+func (c *Collector) onPlex(seed, size int) {
+	c.mu.Lock()
+	t := c.pending[seed]
+	if t == nil {
+		t = &seedTally{hist: make(map[int]int64)}
+		c.pending[seed] = t
+	}
+	t.count++
+	t.hist[size]++
+	if size > t.maxSize {
+		t.maxSize = size
+	}
+	c.mu.Unlock()
+}
+
+func (c *Collector) onSeedDone(seed int, partial Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done.Contains(seed) {
+		return
+	}
+	c.done.Add(seed)
+	c.stats.Add(partial)
+	t := c.pending[seed]
+	if t == nil {
+		return // seed group finished empty
+	}
+	delete(c.pending, seed)
+	c.count += t.count
+	for size, n := range t.hist {
+		c.hist[size] += n
+	}
+	if t.maxSize > c.maxSize {
+		c.maxSize = t.maxSize
+	}
+}
+
+// Count is the number of plexes in committed (fully enumerated) seed
+// groups — a lower bound of the exact count while the run is unfinished.
+func (c *Collector) Count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// MaxSize is the largest committed plex (0 when none).
+func (c *Collector) MaxSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxSize
+}
+
+// Histogram returns a copy of the committed size histogram.
+func (c *Collector) Histogram() map[int]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := make(map[int]int64, len(c.hist))
+	for k, v := range c.hist {
+		h[k] = v
+	}
+	return h
+}
+
+// Stats returns the accumulated engine counters of committed seed groups.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// SeedsDone is the number of committed seed groups.
+func (c *Collector) SeedsDone() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done.Len()
+}
+
+// DoneSeeds returns a copy of the committed seed set — exactly the seeds a
+// resumed run should skip.
+func (c *Collector) DoneSeeds() *SeedSet {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return NewSeedSet(c.done.Seeds()...)
+}

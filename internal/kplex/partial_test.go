@@ -1,0 +1,179 @@
+package kplex
+
+// Deadline-partial grid (an ISSUE 10 satellite): across all three
+// schedulers, a run cancelled mid-flight must leave the Collector with a
+// true lower bound of the exact golden count, and resuming with
+// SkipSeeds = the collector's done-set must produce exactly the remainder
+// — count, histogram and max-size all reassembling the exact answer.
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestDeadlinePartialGrid(t *testing.T) {
+	schedulers := []struct {
+		name  string
+		style SchedulerStyle
+	}{
+		{"stages", SchedulerStages},
+		{"global-queue", SchedulerGlobalQueue},
+		{"steal", SchedulerSteal},
+	}
+	cells := []struct {
+		graph string
+		k, q  int
+	}{
+		{"planted-a", 2, 6},
+		{"chunglu-tail", 3, 8},
+	}
+	for _, sc := range schedulers {
+		for _, cell := range cells {
+			t.Run(sc.name+"/"+cell.graph, func(t *testing.T) {
+				want := readGoldenCase(t, goldenCase{Graph: cell.graph, K: cell.k, Q: cell.q})
+				cg := gen.CorpusGraphByName(cell.graph)
+				g := cg.Build()
+
+				opts := NewOptions(cell.k, cell.q)
+				opts.Threads = 4
+				opts.Scheduler = sc.style
+				p, err := Prepare(g, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total := p.SeedSpace()
+
+				// Cancel once a third of the seed groups have committed —
+				// mid-flight, so some groups are abandoned incomplete.
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				stopAfter := int64(total / 3)
+				var committed atomic.Int64
+				opts.OnSeedDone = func(int, Stats) {
+					if committed.Add(1) == stopAfter {
+						cancel()
+					}
+				}
+				col := NewCollector()
+				col.Install(&opts)
+
+				_, runErr := RunPrepared(ctx, p, opts)
+				if stopAfter > 0 && runErr == nil {
+					t.Fatalf("run completed despite cancellation after %d commits", stopAfter)
+				}
+
+				// The committed prefix is a true lower bound.
+				if col.Count() > want.Count {
+					t.Fatalf("partial count %d exceeds exact %d", col.Count(), want.Count)
+				}
+				if col.MaxSize() > want.MaxSize {
+					t.Fatalf("partial max size %d exceeds exact %d", col.MaxSize(), want.MaxSize)
+				}
+				done := col.SeedsDone()
+				if done > total {
+					t.Fatalf("seedsDone %d exceeds seed space %d", done, total)
+				}
+				if doneSet := col.DoneSeeds(); doneSet.Len() != done {
+					t.Fatalf("done-set size %d != SeedsDone %d", doneSet.Len(), done)
+				}
+
+				// Resume from the done-set: the remainder must reassemble
+				// the exact answer.
+				opts2 := NewOptions(cell.k, cell.q)
+				opts2.Threads = 4
+				opts2.Scheduler = sc.style
+				opts2.SkipSeeds = col.DoneSeeds()
+				col2 := NewCollector()
+				col2.Install(&opts2)
+				if _, err := RunPrepared(context.Background(), p, opts2); err != nil {
+					t.Fatalf("resume run: %v", err)
+				}
+
+				if got := col.Count() + col2.Count(); got != want.Count {
+					t.Errorf("partial %d + remainder %d = %d, want exact %d",
+						col.Count(), col2.Count(), got, want.Count)
+				}
+				if got := col.SeedsDone() + col2.SeedsDone(); got != total {
+					t.Errorf("seedsDone %d + %d = %d, want seed space %d",
+						col.SeedsDone(), col2.SeedsDone(), got, total)
+				}
+				if got := max(col.MaxSize(), col2.MaxSize()); got != want.MaxSize {
+					t.Errorf("max size %d, want %d", got, want.MaxSize)
+				}
+				merged := col.Histogram()
+				for size, n := range col2.Histogram() {
+					merged[size] += n
+				}
+				var histSum int64
+				for _, n := range merged {
+					histSum += n
+				}
+				if histSum != want.Count {
+					t.Errorf("merged histogram sums to %d, want %d", histSum, want.Count)
+				}
+			})
+		}
+	}
+}
+
+// TestCollectorCommitDiscipline checks the buffering rules directly:
+// plexes count only after their seed's OnSeedDone, duplicate completions
+// are ignored, and an empty seed group still marks done.
+func TestCollectorCommitDiscipline(t *testing.T) {
+	col := NewCollector()
+	var opts Options
+	col.Install(&opts)
+
+	opts.OnPlexSeed(7, []int{1, 2, 3})
+	opts.OnPlexSeed(7, []int{1, 2, 3, 4})
+	if col.Count() != 0 || col.SeedsDone() != 0 {
+		t.Fatalf("uncommitted seed already visible: count=%d done=%d", col.Count(), col.SeedsDone())
+	}
+	opts.OnSeedDone(7, Stats{Seeds: 1})
+	if col.Count() != 2 || col.MaxSize() != 4 || col.SeedsDone() != 1 {
+		t.Fatalf("after commit: count=%d max=%d done=%d", col.Count(), col.MaxSize(), col.SeedsDone())
+	}
+	if h := col.Histogram(); h[3] != 1 || h[4] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+	if s := col.Stats(); s.Seeds != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+
+	// Duplicate completion: no double count.
+	opts.OnSeedDone(7, Stats{Seeds: 1})
+	if col.SeedsDone() != 1 || col.Stats().Seeds != 1 {
+		t.Fatal("duplicate OnSeedDone committed twice")
+	}
+
+	// Empty group: done advances, totals do not.
+	opts.OnSeedDone(9, Stats{})
+	if col.SeedsDone() != 2 || col.Count() != 2 {
+		t.Fatalf("empty group: done=%d count=%d", col.SeedsDone(), col.Count())
+	}
+	if !col.DoneSeeds().Contains(9) {
+		t.Fatal("done-set missing empty group")
+	}
+}
+
+// TestCollectorChainsHooks verifies Install preserves hooks already set.
+func TestCollectorChainsHooks(t *testing.T) {
+	var plexes, dones int
+	opts := Options{
+		OnPlexSeed: func(int, []int) { plexes++ },
+		OnSeedDone: func(int, Stats) { dones++ },
+	}
+	col := NewCollector()
+	col.Install(&opts)
+	opts.OnPlexSeed(1, []int{1, 2})
+	opts.OnSeedDone(1, Stats{})
+	if plexes != 1 || dones != 1 {
+		t.Fatalf("chained hooks fired %d/%d times, want 1/1", plexes, dones)
+	}
+	if col.Count() != 1 {
+		t.Fatalf("collector count %d", col.Count())
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 )
 
 // PromWriter emits Prometheus text exposition format (version 0.0.4)
@@ -61,4 +62,79 @@ func (p *PromWriter) Histogram(name, help string, s HistogramSnapshot) {
 	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
 	p.printf("%s_sum %g\n", name, s.Sum)
 	p.printf("%s_count %d\n", name, s.Count)
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// sortedKeys returns m's keys in sorted order so exposition output is
+// deterministic (scrape-diff friendly, and the tests rely on it).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CounterVec emits one counter family with a sample per label value,
+// sorted by value for deterministic output. An empty map emits nothing —
+// a family with no series needs no metadata.
+func (p *PromWriter) CounterVec(name, help, label string, samples map[string]int64) {
+	if len(samples) == 0 {
+		return
+	}
+	p.header(name, help, "counter")
+	for _, k := range sortedKeys(samples) {
+		p.printf("%s{%s=\"%s\"} %d\n", name, label, escapeLabelValue(k), samples[k])
+	}
+}
+
+// GaugeVec emits one gauge family with a sample per label value.
+func (p *PromWriter) GaugeVec(name, help, label string, samples map[string]int64) {
+	if len(samples) == 0 {
+		return
+	}
+	p.header(name, help, "gauge")
+	for _, k := range sortedKeys(samples) {
+		p.printf("%s{%s=\"%s\"} %d\n", name, label, escapeLabelValue(k), samples[k])
+	}
+}
+
+// HistogramVec emits one histogram family with a full bucket series per
+// label value.
+func (p *PromWriter) HistogramVec(name, help, label string, samples map[string]HistogramSnapshot) {
+	if len(samples) == 0 {
+		return
+	}
+	p.header(name, help, "histogram")
+	for _, k := range sortedKeys(samples) {
+		lv := escapeLabelValue(k)
+		s := samples[k]
+		var cum int64
+		for i, b := range s.Bounds {
+			cum += s.Counts[i]
+			p.printf("%s_bucket{%s=\"%s\",le=\"%g\"} %d\n", name, label, lv, b, cum)
+		}
+		p.printf("%s_bucket{%s=\"%s\",le=\"+Inf\"} %d\n", name, label, lv, s.Count)
+		p.printf("%s_sum{%s=\"%s\"} %g\n", name, label, lv, s.Sum)
+		p.printf("%s_count{%s=\"%s\"} %d\n", name, label, lv, s.Count)
+	}
 }

@@ -21,6 +21,7 @@ type queryResult struct {
 	Histogram  map[int]int64 // mode "histogram" only
 	Digest     string
 	ComputedAt time.Time
+	Sample     *kplex.SampleEstimate // sample:<rate> queries only
 }
 
 // resultCache is a mutex-guarded LRU over completed query results, keyed

@@ -38,6 +38,19 @@ type queryRequest struct {
 	// (requires the job subsystem; without it every query runs sync).
 	// Stream mode is incompatible with route=auto.
 	Route string `json:"route,omitempty"`
+	// DeadlineMS bounds the query's wall-clock. A deadline hit is not an
+	// error: the reply is HTTP 200 with partial:true, the count a true
+	// lower bound over the fully-enumerated seed groups, the completed-seed
+	// fraction, and — when the job subsystem is enabled — a durable resume
+	// job already enumerating the remainder. Cacheable modes only.
+	DeadlineMS int `json:"deadlineMs,omitempty"`
+	// Sample, in (0, 1), enumerates a deterministic uniform subset of seed
+	// groups and answers with an unbiased estimate of the exact count (and
+	// histogram) plus a 95% confidence interval, at roughly Sample times
+	// the cost. Modes count and histogram only; the rate is floored so at
+	// least kplex.DefaultMinSampleSeeds seed groups run (tiny seed spaces
+	// degrade to an exact census).
+	Sample float64 `json:"sample,omitempty"`
 }
 
 // queryResponse is the body of a completed cacheable query.
@@ -55,6 +68,16 @@ type queryResponse struct {
 	TopK      [][]int       `json:"topk,omitempty"`
 	Histogram map[int]int64 `json:"histogram,omitempty"`
 	Stats     kplex.Stats   `json:"stats"`
+
+	// Deadline-bounded partial answers (see queryRequest.DeadlineMS).
+	Partial      bool           `json:"partial,omitempty"`
+	SeedsDone    int            `json:"seedsDone,omitempty"`
+	TotalSeeds   int            `json:"totalSeeds,omitempty"`
+	SeedFraction float64        `json:"seedFraction,omitempty"`
+	ResumeJob    *jobs.Manifest `json:"resumeJob,omitempty"`
+	// Sample carries the estimator's detail for sample:<rate> queries;
+	// Count is then the rounded unbiased estimate.
+	Sample *kplex.SampleEstimate `json:"sample,omitempty"`
 }
 
 // streamSummary is the final NDJSON line of a stream response; every
@@ -122,6 +145,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"cache_entries":    s.cache.len(),
 		"resident_graphs":  s.reg.Len(),
 		"prepared_entries": s.prep.len(),
+		"tenants":          s.qos.Snapshot(),
 	})
 }
 
@@ -214,6 +238,23 @@ func (s *Server) parseOptions(req *queryRequest) (kplex.Options, error) {
 	default:
 		return kplex.Options{}, fmt.Errorf("route must be sync or auto, got %q", req.Route)
 	}
+	if req.DeadlineMS < 0 {
+		return kplex.Options{}, fmt.Errorf("deadlineMs must be >= 0, got %d", req.DeadlineMS)
+	}
+	if req.DeadlineMS > 0 && req.Mode == "stream" {
+		return kplex.Options{}, fmt.Errorf("deadlineMs applies to cacheable modes only; a stream is bounded by its client")
+	}
+	if req.Sample != 0 {
+		if req.Sample < 0 || req.Sample >= 1 {
+			return kplex.Options{}, fmt.Errorf("sample must be in (0, 1), got %v", req.Sample)
+		}
+		if req.Mode != "count" && req.Mode != "histogram" {
+			return kplex.Options{}, fmt.Errorf("sample estimates count and histogram modes only, got %q", req.Mode)
+		}
+		if req.DeadlineMS > 0 {
+			return kplex.Options{}, fmt.Errorf("sample and deadlineMs are mutually exclusive bounded-answer modes")
+		}
+	}
 	if opts.Threads > 1 {
 		// Straggler splitting: a service must not let one deep subtree pin
 		// a worker while its siblings idle (Section 6's τ_time).
@@ -233,6 +274,10 @@ func cacheKey(digest string, opts *kplex.Options, req *queryRequest) string {
 	if req.Mode == "topk" {
 		key += "|n=" + strconv.Itoa(req.TopN)
 	}
+	if req.Sample > 0 {
+		// An estimate must never answer (or be answered by) an exact query.
+		key += "|sample=" + strconv.FormatFloat(req.Sample, 'g', -1, 64)
+	}
 	return key
 }
 
@@ -251,7 +296,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.serveStream(w, r, &req, opts)
 		return
 	}
+	tenant := tenantOf(r)
 	s.met.Queries.Add(1)
+	s.tenantQueries.Add(tenant, 1)
 	t := obs.FromContext(r.Context())
 	started := time.Now()
 	inf := s.inflight.Register("query", req.Graph, req.K, req.Q, req.Mode, t.ID())
@@ -277,8 +324,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.CacheMisses.Add(1)
 
-	if req.Route == "auto" && s.jobs != nil {
-		if man, pred, routed := s.maybeRouteAsync(entry, &req, opts); routed {
+	if req.DeadlineMS > 0 {
+		// Partial results must not poison the cache or be flight-shared; the
+		// deadline path runs outside both (a full-result finish still caches).
+		s.executeDeadline(w, r, t, inf, entry, &req, opts, tenant, key)
+		return
+	}
+
+	if req.Route == "auto" && s.jobs != nil && req.Sample == 0 {
+		if man, pred, routed := s.maybeRouteAsync(entry, &req, opts, tenant); routed {
 			s.met.RoutedAsync.Add(1)
 			writeJSON(w, http.StatusAccepted, map[string]any{
 				"job":         man,
@@ -297,14 +351,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		inf.SetStage("admission")
 		admSpan := t.StartSpan("admission")
-		release, err := s.admit(s.baseCtx)
+		// The admission wait is bounded by the leader's request context: a
+		// client that gives up while queued must free its place instead of
+		// parking a server-lifetime waiter. Execution below stays detached
+		// (s.baseCtx) — once a slot is held the result is cacheable and
+		// worth finishing for the next identical query.
+		release, err := s.admit(r.Context(), tenant)
 		admSpan.EndErr(err)
 		if err != nil {
 			return nil, false, err
 		}
 		defer release()
 		s.met.Executions.Add(1)
-		val, err := s.execute(t, inf, entry, &req, opts)
+		var val *queryResult
+		if req.Sample > 0 {
+			val, err = s.executeSampled(t, inf, entry, &req, opts)
+		} else {
+			val, err = s.execute(t, inf, entry, &req, opts)
+		}
 		if err != nil {
 			return nil, false, err
 		}
@@ -317,8 +381,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	flightSpan.EndErr(err)
 	if err != nil {
 		switch {
-		case errors.Is(err, errBusy):
-			s.fail(w, http.StatusTooManyRequests, err.Error())
+		case isOverload(err):
+			s.reject429(w, err)
+		case errors.Is(err, context.Canceled):
+			// The flight leader's client left during the admission wait; the
+			// leader is gone and any followers should simply retry.
+			s.fail(w, http.StatusServiceUnavailable, "query abandoned during admission: "+err.Error())
 		case errors.Is(err, context.DeadlineExceeded):
 			s.fail(w, http.StatusGatewayTimeout, "query exceeded the server's time budget")
 		default:
@@ -404,7 +472,7 @@ func (s *Server) execute(t *obs.Trace, inf *obs.InflightEntry, entry *GraphEntry
 // return (prediction under threshold, prologue failure, submit failure)
 // falls through to the synchronous path, which will surface any real error
 // with proper status mapping.
-func (s *Server) maybeRouteAsync(entry *GraphEntry, req *queryRequest, opts kplex.Options) (*jobs.Manifest, time.Duration, bool) {
+func (s *Server) maybeRouteAsync(entry *GraphEntry, req *queryRequest, opts kplex.Options, tenant string) (*jobs.Manifest, time.Duration, bool) {
 	p, err := s.prepared(entry.G, entry.Digest, &opts)
 	if err != nil {
 		return nil, 0, false
@@ -413,7 +481,7 @@ func (s *Server) maybeRouteAsync(entry *GraphEntry, req *queryRequest, opts kple
 	if pred <= s.cfg.RouteAsyncThreshold {
 		return nil, pred, false
 	}
-	spec := jobs.Spec{Graph: req.Graph, K: req.K, Q: req.Q, Threads: req.Threads}
+	spec := jobs.Spec{Graph: req.Graph, K: req.K, Q: req.Q, Threads: req.Threads, Tenant: tenant}
 	if req.Mode == "topk" {
 		spec.TopN = req.TopN
 	}
@@ -445,6 +513,7 @@ func (s *Server) respond(w http.ResponseWriter, req *queryRequest, entry *GraphE
 		TopK:      val.TopK,
 		Histogram: val.Histogram,
 		Stats:     val.Stats,
+		Sample:    val.Sample,
 	})
 }
 
@@ -481,7 +550,9 @@ func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
 // enumeration, dominates them, and caching materialised result sets is
 // exactly what the streaming path exists to avoid.
 func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req *queryRequest, opts kplex.Options) {
+	tenant := tenantOf(r)
 	s.met.Streams.Add(1)
+	s.tenantQueries.Add(tenant, 1)
 	t := obs.FromContext(r.Context())
 	started := time.Now()
 	inf := s.inflight.Register("stream", req.Graph, req.K, req.Q, req.Mode, t.ID())
@@ -495,11 +566,11 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req *queryR
 
 	inf.SetStage("admission")
 	admSpan := t.StartSpan("admission")
-	release, err := s.admit(ctx)
+	release, err := s.admit(ctx, tenant)
 	admSpan.EndErr(err)
 	if err != nil {
-		if errors.Is(err, errBusy) {
-			s.fail(w, http.StatusTooManyRequests, err.Error())
+		if isOverload(err) {
+			s.reject429(w, err)
 		} else {
 			s.fail(w, http.StatusBadRequest, "client went away: "+err.Error())
 		}

@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"net/http"
 	"strconv"
 	"time"
@@ -117,8 +116,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		itemOpts[i] = opts
 	}
 
+	tenant := tenantOf(r)
 	s.met.Batches.Add(1)
 	s.met.Queries.Add(int64(len(req.Items))) // each item is one query
+	s.tenantQueries.Add(tenant, int64(len(req.Items)))
 	t := obs.FromContext(r.Context())
 	started := time.Now()
 	inf := s.inflight.Register("batch", req.Graph, 0, 0, "batch", t.ID())
@@ -174,11 +175,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// capacity however many items it answers.
 		inf.SetStage("admission")
 		admSpan := t.StartSpan("admission")
-		release, err = s.admit(r.Context())
+		release, err = s.admit(r.Context(), tenant)
 		admSpan.EndErr(err)
 		if err != nil {
-			if errors.Is(err, errBusy) {
-				s.fail(w, http.StatusTooManyRequests, err.Error())
+			if isOverload(err) {
+				s.reject429(w, err)
 			} else {
 				s.fail(w, http.StatusBadRequest, "client went away: "+err.Error())
 			}

@@ -131,7 +131,7 @@ func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
 	// a worker stuck here (no heartbeats until admission).
 	inf.SetStage("admission")
 	admSpan := wt.StartSpan("admission").Attr("range", rangeAttr)
-	release, err := s.admitJob(r.Context())
+	release, err := s.admitJob(r.Context(), tenantOf(r))
 	admSpan.EndErr(err)
 	if err != nil {
 		return // client gone while waiting; nothing to answer

@@ -47,6 +47,14 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
 		return
 	}
+	// The tenant governs the job's place in the weighted-fair queue and its
+	// admission identity; body value and header are both accepted, sanitized
+	// the same way as interactive requests.
+	if spec.Tenant != "" {
+		spec.Tenant = sanitizeTenant(spec.Tenant)
+	} else {
+		spec.Tenant = tenantOf(r)
+	}
 	// The service-level ceilings that protect the interactive path protect
 	// the background path too.
 	if spec.K < 1 || spec.K > s.cfg.MaxK {

@@ -34,6 +34,9 @@ type metrics struct {
 	RoutedAsync       atomic.Int64 // route=auto queries converted into background jobs
 	CostObservations  atomic.Int64 // measured runtimes fed to the cost calibrator
 	RangeRuns         atomic.Int64 // distributed seed ranges served as a cluster worker
+	PartialAnswers    atomic.Int64 // deadline-bounded queries answered 200 partial:true
+	SampledQueries    atomic.Int64 // queries answered from a seed sample estimate
+	QuotaDenied       atomic.Int64 // admissions denied by a tenant's rate quota (subset of rejected)
 }
 
 // snapshot returns the counters as a plain map for JSON encoding.
@@ -60,6 +63,9 @@ func (m *metrics) snapshot() map[string]int64 {
 		"routed_async":        m.RoutedAsync.Load(),
 		"cost_observations":   m.CostObservations.Load(),
 		"range_runs":          m.RangeRuns.Load(),
+		"partial_answers":     m.PartialAnswers.Load(),
+		"sampled_queries":     m.SampledQueries.Load(),
+		"quota_denied":        m.QuotaDenied.Load(),
 	}
 }
 
@@ -103,6 +109,9 @@ var metricHelp = map[string]string{
 	"routed_async":        "route=auto queries converted into background jobs.",
 	"cost_observations":   "Measured runtimes fed to the cost calibrator.",
 	"range_runs":          "Distributed seed ranges served as a cluster worker.",
+	"partial_answers":     "Deadline-bounded queries answered 200 with partial:true (count is a lower bound).",
+	"sampled_queries":     "Queries answered from a deterministic seed-sample estimate.",
+	"quota_denied":        "Admissions denied by a tenant's rate quota (a subset of rejected).",
 
 	"cache_entries":    "Result-cache entries currently resident.",
 	"resident_graphs":  "Graphs currently resident in the registry.",
@@ -216,4 +225,25 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
 	for _, f := range s.histFamilies() {
 		pw.Histogram(f.name, f.help, f.h.Snapshot())
 	}
+
+	// Per-tenant families carry a {tenant="..."} label, so they live outside
+	// the flat /stats snapshot (and its help-registration lint): the
+	// controller's snapshot is the source of truth and empty families emit
+	// nothing, so a single-tenant deployment's scrape is unchanged.
+	running := map[string]int64{}
+	queued := map[string]int64{}
+	admitted := map[string]int64{}
+	denied := map[string]int64{}
+	for _, ts := range s.qos.Snapshot() {
+		running[ts.Name] = int64(ts.Running)
+		queued[ts.Name] = int64(ts.Queued)
+		admitted[ts.Name] = ts.Admitted
+		denied[ts.Name] = ts.QuotaDenied
+	}
+	pw.CounterVec("kplexd_tenant_queries_total", "Enumeration requests per tenant (queries, streams, batch items).", "tenant", s.tenantQueries.Snapshot())
+	pw.CounterVec("kplexd_tenant_admitted_total", "Admissions granted per tenant.", "tenant", admitted)
+	pw.CounterVec("kplexd_tenant_quota_denied_total", "Admissions denied by the tenant's rate quota.", "tenant", denied)
+	pw.GaugeVec("kplexd_tenant_running", "Enumeration slots currently held per tenant.", "tenant", running)
+	pw.GaugeVec("kplexd_tenant_queued", "Admissions currently waiting per tenant.", "tenant", queued)
+	pw.HistogramVec("kplexd_tenant_admission_wait_seconds", "Admission wait per tenant.", "tenant", s.tenantWait.Snapshot())
 }

@@ -579,10 +579,13 @@ func TestAdmissionWaitWarning(t *testing.T) {
 	}
 	defer s.Close()
 
-	s.sem <- struct{}{} // occupy the only slot
+	blocker, err := s.qos.Admit(context.Background(), "blocker")
+	if err != nil {
+		t.Fatal(err) // one free slot: this must grant immediately
+	}
 	done := make(chan error, 1)
 	go func() {
-		release, err := s.admitJob(context.Background())
+		release, err := s.admitJob(context.Background(), "default")
 		if err == nil {
 			release()
 		}
@@ -603,7 +606,7 @@ func TestAdmissionWaitWarning(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	<-s.sem // free the slot
+	blocker() // free the slot
 	if err := <-done; err != nil {
 		t.Fatalf("admitJob after slot freed: %v", err)
 	}

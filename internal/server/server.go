@@ -12,6 +12,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/kplex"
 	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/store"
 )
 
@@ -56,6 +58,14 @@ type Config struct {
 	// MaxConcurrent bounds simultaneously running enumerations, cacheable
 	// and streaming alike (default NumCPU, min 2).
 	MaxConcurrent int
+	// Tenants declares per-tenant QoS profiles (weights, rate quotas,
+	// concurrency caps) for the admission controller; requests name their
+	// tenant in the X-Kplexd-Tenant header. Tenants not listed here — and
+	// every request when the list is empty — get the default profile
+	// (weight 1, no quota, no cap), so an unconfigured deployment behaves
+	// like a plain MaxConcurrent semaphore. See qos.ParseTenants for the
+	// -tenants flag syntax.
+	Tenants []qos.TenantConfig
 	// AdmissionTimeout is how long a request waits for an enumeration slot
 	// before being rejected with 429 (default 2s).
 	AdmissionTimeout time.Duration
@@ -228,7 +238,7 @@ type Server struct {
 	prep    *preparedCache
 	catalog *store.Catalog // nil when Config.CatalogDir is empty
 	flight  flightGroup
-	sem     chan struct{}
+	qos     *qos.Controller
 	met     metrics
 	mux     *http.ServeMux
 	router  *costRouter
@@ -241,6 +251,9 @@ type Server struct {
 	inflight *obs.Inflight
 	slow     *obs.SlowLog // nil when Config.SlowQueryLog is empty
 	hist     serverHists
+
+	tenantQueries *obs.CounterVec   // enumeration requests per tenant
+	tenantWait    *obs.HistogramVec // admission wait per tenant
 }
 
 // New builds a Server from cfg (see Config for defaults). The only
@@ -261,12 +274,15 @@ func New(cfg Config) (*Server, error) {
 		catalog:  cat,
 		cache:    newResultCache(cfg.CacheEntries),
 		prep:     newPreparedCache(cfg.PreparedEntries),
-		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		qos:      qos.NewController(cfg.MaxConcurrent, cfg.Tenants),
 		mux:      http.NewServeMux(),
 		router:   newCostRouter(),
 		tracer:   obs.NewTracer(cfg.TraceCapacity, cfg.TraceSampleEvery),
 		inflight: obs.NewInflight(),
 		hist:     newServerHists(),
+
+		tenantQueries: obs.NewCounterVec(),
+		tenantWait:    obs.NewHistogramVec(obs.DefaultLatencyBuckets),
 	}
 	if cfg.SlowQueryLog != "" {
 		sl, err := obs.NewSlowLog(cfg.SlowQueryLog, cfg.SlowQueryLogMaxBytes)
@@ -291,6 +307,7 @@ func New(cfg Config) (*Server, error) {
 			MinCheckpointGap:   cfg.JobMinCheckpointGap,
 			DefaultThreads:     cfg.DefaultThreads,
 			Admit:              s.admitJob,
+			TenantWeight:       tenantWeights(cfg.Tenants),
 			ObserveCost:        s.observeCost,
 			Tracer:             s.tracer,
 			ObserveFsync:       s.hist.fsync.ObserveDuration,
@@ -353,32 +370,52 @@ func (s *Server) jobPrepared(g graph.CSR, digest string, opts kplex.Options) (*k
 // path); nil when Config.CatalogDir is empty.
 func (s *Server) Catalog() *store.Catalog { return s.catalog }
 
-// admitJob takes an enumeration slot for a background job or a leased
-// seed range. Unlike the interactive path there is no 429: jobs are queued
-// work by definition, so they wait for capacity (or until the job is
-// cancelled). The wait is never silent: it feeds the admission-wait
-// histogram, and once it crosses Config.AdmissionWarnAfter a structured
-// warning is logged — a leased range stalled here sends no heartbeats, so
-// a long wait is the usual prelude to the coordinator expiring the lease.
-func (s *Server) admitJob(ctx context.Context) (func(), error) {
-	start := time.Now()
-	warn := time.NewTimer(s.cfg.AdmissionWarnAfter)
-	defer warn.Stop()
-	for {
-		select {
-		case s.sem <- struct{}{}:
-			s.hist.admissionWait.ObserveSince(start)
-			return func() { <-s.sem }, nil
-		case <-ctx.Done():
-			s.hist.admissionWait.ObserveSince(start)
-			return nil, ctx.Err()
-		case <-warn.C:
-			s.cfg.Logf(`{"level":"warn","msg":"queued work waiting on admission","waitedMs":%.0f,"warnAfterMs":%.0f,"maxConcurrent":%d}`,
-				float64(time.Since(start))/float64(time.Millisecond),
-				float64(s.cfg.AdmissionWarnAfter)/float64(time.Millisecond),
-				s.cfg.MaxConcurrent)
+// tenantWeights builds the job scheduler's weight lookup from the declared
+// tenant profiles; unknown tenants weigh 1 (the lookup returns 0 and the
+// scheduler applies its default).
+func tenantWeights(tenants []qos.TenantConfig) func(string) float64 {
+	w := make(map[string]float64, len(tenants))
+	for _, tc := range tenants {
+		if tc.Weight > 0 {
+			w[tc.Name] = tc.Weight
 		}
 	}
+	return func(tenant string) float64 { return w[tenant] }
+}
+
+// admitJob takes an enumeration slot for a background job or a leased
+// seed range on behalf of tenant. Unlike the interactive path there is no
+// 429 and no token charge: jobs are queued, already-accepted work by
+// definition, so they wait for capacity (or until the job is cancelled),
+// sharing the weighted-fair queue with interactive requests. The wait is
+// never silent: it feeds the admission-wait histogram, and once it crosses
+// Config.AdmissionWarnAfter a structured warning is logged — a leased
+// range stalled here sends no heartbeats, so a long wait is the usual
+// prelude to the coordinator expiring the lease.
+func (s *Server) admitJob(ctx context.Context, tenant string) (func(), error) {
+	start := time.Now()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		warn := time.NewTimer(s.cfg.AdmissionWarnAfter)
+		defer warn.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-warn.C:
+				s.cfg.Logf(`{"level":"warn","msg":"queued work waiting on admission","waitedMs":%.0f,"warnAfterMs":%.0f,"maxConcurrent":%d}`,
+					float64(time.Since(start))/float64(time.Millisecond),
+					float64(s.cfg.AdmissionWarnAfter)/float64(time.Millisecond),
+					s.cfg.MaxConcurrent)
+				warn.Reset(s.cfg.AdmissionWarnAfter)
+			}
+		}
+	}()
+	release, err := s.qos.AdmitQueued(ctx, tenant)
+	s.hist.admissionWait.ObserveSince(start)
+	s.tenantWait.Observe(tenant, time.Since(start).Seconds())
+	return release, err
 }
 
 // Handler returns the HTTP handler serving all endpoints.
@@ -448,22 +485,34 @@ func (s *Server) Close() {
 	s.slow.Close() //nolint:errcheck // diagnostic output; nothing to do on failure
 }
 
-// admit blocks until an enumeration slot is free, the client gives up, or
-// the admission timeout passes. The returned release must be called once
-// admit succeeds.
-func (s *Server) admit(ctx context.Context) (release func(), err error) {
+// admit blocks until tenant is granted an enumeration slot, the client
+// gives up, or the admission timeout passes. The tenant's token bucket is
+// charged; a bucket denial surfaces as a *qos.QuotaError (mapped to 429
+// with a computed Retry-After), and an admission-timeout expiry while the
+// client is still there surfaces as errBusy. The returned release must be
+// called exactly once.
+func (s *Server) admit(ctx context.Context, tenant string) (release func(), err error) {
 	start := time.Now()
-	t := time.NewTimer(s.cfg.AdmissionTimeout)
-	defer t.Stop()
-	select {
-	case s.sem <- struct{}{}:
+	actx, cancel := context.WithTimeout(ctx, s.cfg.AdmissionTimeout)
+	defer cancel()
+	release, err = s.qos.Admit(actx, tenant)
+	if err == nil {
 		s.hist.admissionWait.ObserveSince(start)
-		return func() { <-s.sem }, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-t.C:
-		return nil, errBusy
+		s.tenantWait.Observe(tenant, time.Since(start).Seconds())
+		return release, nil
 	}
+	var qe *qos.QuotaError
+	if errors.As(err, &qe) {
+		s.met.QuotaDenied.Add(1)
+		return nil, err
+	}
+	if actx.Err() != nil && ctx.Err() == nil {
+		return nil, errBusy // the timeout fired, not the caller
+	}
+	return nil, err
 }
+
+// QoS exposes the admission controller (tests and introspection).
+func (s *Server) QoS() *qos.Controller { return s.qos }
 
 var errBusy = fmt.Errorf("server at capacity: all enumeration slots busy")
